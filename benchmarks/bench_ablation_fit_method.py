@@ -1,0 +1,86 @@
+"""Ablation A2: minimax (LP) fitting vs least-squares fitting.
+
+PolyFit's segments are fitted under the L-infinity norm (Equation 9) because
+the bounded delta-error constraint is a max-norm constraint: minimizing the
+maximum deviation directly lets each segment stretch as far as possible
+before violating the budget.  This ablation quantifies that choice by
+segmenting the same curve with (a) the LP minimax fit and (b) a plain
+least-squares fit, under the same budget, and comparing segment counts and
+index sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, Guarantee, IndexConfig, PolyFitIndex
+from repro.config import FitConfig, SegmentationConfig
+from repro.bench import format_table
+from repro.fitting import fit_lstsq_polynomial, fit_minimax_polynomial
+
+
+def test_ablation_minimax_needs_fewer_segments(tweet_data):
+    """Under the same budget, minimax fitting yields no more segments than least squares."""
+    keys, _ = tweet_data
+    subset = keys[:: max(1, keys.size // 15_000)]
+    eps = 100.0
+    rows = []
+    counts = {}
+    for solver in ("auto", "lstsq"):
+        config = IndexConfig(
+            fit=FitConfig(degree=2, solver=solver),
+            segmentation=SegmentationConfig(delta=eps / 2),
+        )
+        index = PolyFitIndex.build(subset, aggregate=Aggregate.COUNT,
+                                   guarantee=Guarantee.absolute(eps), config=config)
+        counts[solver] = index.num_segments
+        rows.append([
+            "minimax LP" if solver == "auto" else "least squares",
+            index.num_segments,
+            f"{index.size_in_bytes() / 1024:.2f}",
+        ])
+
+    print()
+    print(format_table(
+        ["fitting method", "segments", "index size (KB)"],
+        rows,
+        title="Ablation A2: fitting objective vs segment count (TWEET COUNT, eps_abs=100)",
+    ))
+    assert counts["auto"] <= counts["lstsq"]
+
+
+def test_ablation_per_segment_error_comparison():
+    """On a fixed window, the minimax fit has lower max error than least squares."""
+    rng = np.random.default_rng(81)
+    keys = np.sort(rng.uniform(0, 100, size=200))
+    values = np.cumsum(rng.uniform(0, 3, size=200)) + 20 * np.sin(keys / 5.0)
+    rows = []
+    for degree in (1, 2, 3):
+        minimax = fit_minimax_polynomial(keys, values, degree, solver="lp").max_error
+        lstsq = fit_lstsq_polynomial(keys, values, degree).max_error
+        rows.append([degree, f"{minimax:.2f}", f"{lstsq:.2f}",
+                     f"{lstsq / minimax:.2f}x" if minimax > 0 else "n/a"])
+        assert minimax <= lstsq + 1e-9
+
+    print()
+    print(format_table(
+        ["degree", "minimax max-error", "lstsq max-error", "ratio"],
+        rows,
+        title="Ablation A2: max-norm error of the two fitting objectives",
+    ))
+
+
+@pytest.mark.benchmark(group="ablation-fit")
+@pytest.mark.parametrize("solver", ["lp", "lstsq"])
+def test_ablation_bench_fit_methods(benchmark, solver):
+    """pytest-benchmark target: one 200-point degree-2 fit, LP vs least squares."""
+    rng = np.random.default_rng(82)
+    keys = np.sort(rng.uniform(0, 100, size=200))
+    values = np.cumsum(rng.uniform(0, 3, size=200))
+
+    def run():
+        return fit_minimax_polynomial(keys, values, 2, solver=solver)
+
+    fit = benchmark(run)
+    assert fit.max_error >= 0.0

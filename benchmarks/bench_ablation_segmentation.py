@@ -1,0 +1,96 @@
+"""Ablation A1: segmentation algorithm — GS vs DP vs exponential search.
+
+Table II of the paper gives worst-case complexities: DP is O(n^2 * l^2.5)
+while GS is O(n * l^2.5); Theorem 1 shows GS is nevertheless optimal in the
+number of segments.  This ablation verifies both claims empirically on a
+small input (where DP is feasible) and measures the speedup of the
+exponential-search variant of GS on a larger input.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, time_callable_ns
+from repro.fitting import dp_segmentation, greedy_segmentation
+
+
+def _cumulative_curve(n: int, seed: int = 71) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    keys = np.sort(rng.uniform(0, 1000, size=n))
+    keys = keys + np.arange(n) * 1e-9
+    values = np.cumsum(rng.uniform(0, 5, size=n))
+    return keys, values
+
+
+def test_ablation_gs_matches_dp_optimum():
+    """GS produces exactly as many segments as the DP optimum (Theorem 1)."""
+    keys, values = _cumulative_curve(60)
+    rows = []
+    for delta in (2.0, 5.0, 20.0):
+        gs_start = time.perf_counter()
+        gs = greedy_segmentation(keys, values, delta=delta, degree=2)
+        gs_time = time.perf_counter() - gs_start
+        dp_start = time.perf_counter()
+        dp = dp_segmentation(keys, values, delta=delta, degree=2)
+        dp_time = time.perf_counter() - dp_start
+        rows.append([delta, len(gs), len(dp), f"{gs_time:.2f}", f"{dp_time:.2f}"])
+        assert len(gs) == len(dp)
+
+    print()
+    print(format_table(
+        ["delta", "GS segments", "DP segments", "GS time (s)", "DP time (s)"],
+        rows,
+        title="Ablation A1: GS vs DP on 60 points (Theorem 1 / Table II)",
+    ))
+
+
+def test_ablation_exponential_search_speedup():
+    """Exponential-search GS produces the same segmentation, faster on long segments."""
+    keys, values = _cumulative_curve(600, seed=72)
+    delta = 50.0
+
+    linear_ns = time_callable_ns(
+        lambda: greedy_segmentation(keys, values, delta=delta, degree=2,
+                                    use_exponential_search=False)
+    )
+    exponential_ns = time_callable_ns(
+        lambda: greedy_segmentation(keys, values, delta=delta, degree=2,
+                                    use_exponential_search=True)
+    )
+    linear = greedy_segmentation(keys, values, delta=delta, degree=2,
+                                 use_exponential_search=False)
+    exponential = greedy_segmentation(keys, values, delta=delta, degree=2,
+                                      use_exponential_search=True)
+
+    print()
+    print(format_table(
+        ["variant", "segments", "construction time (ms)"],
+        [
+            ["GS (one point at a time)", len(linear), f"{linear_ns / 1e6:.1f}"],
+            ["GS + exponential search", len(exponential), f"{exponential_ns / 1e6:.1f}"],
+        ],
+        title="Ablation A1: exponential-search acceleration of GS",
+    ))
+
+    assert [s.stop for s in linear] == [s.stop for s in exponential]
+    # The exponential-search variant must solve far fewer LPs, hence be faster.
+    assert exponential_ns < linear_ns
+
+
+@pytest.mark.benchmark(group="ablation-segmentation")
+@pytest.mark.parametrize("use_exponential", [False, True],
+                         ids=["linear-growth", "exponential-search"])
+def test_ablation_bench_gs_variants(benchmark, use_exponential):
+    """pytest-benchmark target: GS construction time, both growth strategies."""
+    keys, values = _cumulative_curve(300, seed=73)
+
+    def run():
+        return greedy_segmentation(keys, values, delta=25.0, degree=2,
+                                   use_exponential_search=use_exponential)
+
+    segments = benchmark(run)
+    assert len(segments) >= 1

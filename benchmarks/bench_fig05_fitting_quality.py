@@ -1,0 +1,90 @@
+"""Figure 5: fitting quality of linear vs polynomial models on an HKI slice.
+
+The paper shows the Hong Kong 40-Index DFmax curve for 2018 (about 90 points)
+together with three fits: linear regression (RMI's model), a linear segment
+(FITing-tree's model) and a degree-4 minimax polynomial (PolyFit's model).
+The claim is that the polynomial achieves a much lower fitting error.
+
+This bench fits all three models to the same slice of the synthetic HKI curve
+and reports their maximum absolute errors; the benchmark target times the
+degree-4 minimax fit itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearModel
+from repro.baselines.fiting_tree import shrinking_cone_segmentation
+from repro.bench import format_table
+from repro.fitting import fit_minimax_polynomial
+
+
+def _hki_2018_slice(hki_data, points: int = 90):
+    keys, values = hki_data
+    step = max(1, keys.size // points)
+    return keys[::step][:points], values[::step][:points]
+
+
+def _linear_regression_error(keys, values) -> float:
+    model = LinearModel().fit(keys, values)
+    return float(np.max(np.abs(model.predict(keys) - values)))
+
+
+def _single_linear_segment_error(keys, values) -> float:
+    # FITing-tree style: one shrinking-cone segment forced over all points by
+    # using an infinite budget, then measure its achieved error.
+    segments = shrinking_cone_segmentation(keys, values, error_budget=np.inf)
+    assert len(segments) == 1
+    segment = segments[0]
+    return float(np.max(np.abs([segment.predict(k) for k in keys] - values)))
+
+
+def test_fig05_polynomial_beats_linear_fits(hki_data):
+    """Degree-4 minimax polynomial error is well below both linear fits."""
+    keys, values = _hki_2018_slice(hki_data)
+    lr_error = _linear_regression_error(keys, values)
+    fit_error = _single_linear_segment_error(keys, values)
+    poly_error = fit_minimax_polynomial(keys, values, degree=4, solver="lp").max_error
+
+    print()
+    print(format_table(
+        ["model", "max abs fitting error"],
+        [
+            ["LR(k) linear regression", f"{lr_error:.1f}"],
+            ["FIT(k) linear segment", f"{fit_error:.1f}"],
+            ["P(k) degree-4 minimax polynomial", f"{poly_error:.1f}"],
+        ],
+        title="Figure 5: fitting DFmax(k) on a ~90-point HKI slice",
+    ))
+
+    assert poly_error <= lr_error
+    assert poly_error <= fit_error
+    # Paper claim: the polynomial is a clearly better approximation.
+    assert poly_error <= 0.9 * min(lr_error, fit_error)
+
+
+def test_fig05_degree_sweep_monotone(hki_data):
+    """Higher polynomial degree never increases the minimax fitting error."""
+    keys, values = _hki_2018_slice(hki_data)
+    errors = [
+        fit_minimax_polynomial(keys, values, degree=deg, solver="lp").max_error
+        for deg in range(1, 5)
+    ]
+    print()
+    print(format_table(
+        ["degree", "max abs fitting error"],
+        [[deg, f"{err:.1f}"] for deg, err in zip(range(1, 5), errors)],
+        title="Figure 5 (companion): minimax error vs polynomial degree",
+    ))
+    for lower, higher in zip(errors, errors[1:]):
+        assert higher <= lower + 1e-6
+
+
+@pytest.mark.benchmark(group="fig05-fitting")
+def test_fig05_bench_degree4_fit(benchmark, hki_data):
+    """Time the degree-4 minimax LP fit on the 90-point slice."""
+    keys, values = _hki_2018_slice(hki_data)
+    result = benchmark(lambda: fit_minimax_polynomial(keys, values, degree=4, solver="lp"))
+    assert result.max_error >= 0.0

@@ -1,0 +1,124 @@
+"""Figure 14: effect of the polynomial degree on PolyFit performance.
+
+(a) COUNT query response time vs absolute error threshold for PolyFit-1/2/3
+    on TWEET,
+(b) MAX query response time vs absolute error threshold for PolyFit-1/2 on
+    HKI,
+(c) index construction time vs absolute error threshold for PolyFit-1/2/3 on
+    TWEET.
+
+The paper's findings: degree 2 improves on degree 1 (fewer segments), the
+marginal gain from degree 3 is small, and construction time grows with both
+the degree and the error threshold.  The benchmark targets time the query
+stage for each degree at eps_abs = 100.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Aggregate, Guarantee, IndexConfig, PolyFitIndex
+from repro.config import FitConfig, SegmentationConfig
+from repro.bench import format_series, time_per_query_ns
+
+ABS_THRESHOLDS = [100, 200, 500, 1000]
+DEGREES_COUNT = [1, 2, 3]
+DEGREES_MAX = [1, 2]
+
+
+def _build(keys, measures, aggregate, eps_abs, degree):
+    config = IndexConfig(
+        fit=FitConfig(degree=degree),
+        segmentation=SegmentationConfig(delta=1.0),  # placeholder, build() derives delta
+    )
+    return PolyFitIndex.build(
+        keys,
+        measures,
+        aggregate=aggregate,
+        guarantee=Guarantee.absolute(eps_abs),
+        config=config,
+    )
+
+
+def test_fig14a_count_query_time_by_degree(tweet_data, tweet_queries):
+    """COUNT response time vs eps_abs for PolyFit-1/2/3 (TWEET)."""
+    keys, _ = tweet_data
+    series = {f"PolyFit-{deg}": [] for deg in DEGREES_COUNT}
+    segment_counts = {f"PolyFit-{deg}": [] for deg in DEGREES_COUNT}
+    for eps in ABS_THRESHOLDS:
+        for degree in DEGREES_COUNT:
+            index = _build(keys, None, Aggregate.COUNT, eps, degree)
+            timing = time_per_query_ns(
+                lambda q, ix=index: ix.estimate(q), tweet_queries, repeats=1,
+                method=f"PolyFit-{degree}",
+            )
+            series[f"PolyFit-{degree}"].append(round(timing.per_query_ns))
+            segment_counts[f"PolyFit-{degree}"].append(index.num_segments)
+
+    print()
+    print(format_series("eps_abs", ABS_THRESHOLDS, series,
+                        title="Figure 14(a): COUNT query time (ns) vs eps_abs, by degree"))
+    print(format_series("eps_abs", ABS_THRESHOLDS, segment_counts,
+                        title="Figure 14(a) companion: segment counts"))
+
+    # Paper shape: degree 2 yields no more segments than degree 1 everywhere.
+    for d1, d2 in zip(segment_counts["PolyFit-1"], segment_counts["PolyFit-2"]):
+        assert d2 <= d1
+
+
+def test_fig14b_max_query_time_by_degree(hki_data, hki_queries):
+    """MAX response time vs eps_abs for PolyFit-1/2 (HKI)."""
+    keys, measures = hki_data
+    series = {f"PolyFit-{deg}": [] for deg in DEGREES_MAX}
+    segment_counts = {f"PolyFit-{deg}": [] for deg in DEGREES_MAX}
+    for eps in ABS_THRESHOLDS:
+        for degree in DEGREES_MAX:
+            index = _build(keys, measures, Aggregate.MAX, eps, degree)
+            timing = time_per_query_ns(
+                lambda q, ix=index: ix.estimate(q), hki_queries[:300], repeats=1,
+                method=f"PolyFit-{degree}",
+            )
+            series[f"PolyFit-{degree}"].append(round(timing.per_query_ns))
+            segment_counts[f"PolyFit-{degree}"].append(index.num_segments)
+
+    print()
+    print(format_series("eps_abs", ABS_THRESHOLDS, series,
+                        title="Figure 14(b): MAX query time (ns) vs eps_abs, by degree"))
+    print(format_series("eps_abs", ABS_THRESHOLDS, segment_counts,
+                        title="Figure 14(b) companion: segment counts"))
+    for d1, d2 in zip(segment_counts["PolyFit-1"], segment_counts["PolyFit-2"]):
+        assert d2 <= d1
+
+
+def test_fig14c_construction_time_by_degree(tweet_data):
+    """Construction time vs eps_abs for PolyFit-1/2/3 (TWEET subset)."""
+    keys, _ = tweet_data
+    subset = keys[:: max(1, keys.size // 20_000)]
+    series = {f"PolyFit-{deg}": [] for deg in DEGREES_COUNT}
+    for eps in ABS_THRESHOLDS:
+        for degree in DEGREES_COUNT:
+            start = time.perf_counter()
+            _build(subset, None, Aggregate.COUNT, eps, degree)
+            series[f"PolyFit-{degree}"].append(round(time.perf_counter() - start, 2))
+    print()
+    print(format_series("eps_abs", ABS_THRESHOLDS, series,
+                        title="Figure 14(c): construction time (s) vs eps_abs, by degree"))
+    # Shape check only: all builds completed.
+    assert all(all(v >= 0 for v in values) for values in series.values())
+
+
+@pytest.mark.benchmark(group="fig14-query")
+@pytest.mark.parametrize("degree", DEGREES_COUNT)
+def test_fig14_bench_count_query(benchmark, degree, tweet_data, tweet_queries):
+    """pytest-benchmark target: COUNT query latency per degree at eps_abs=100."""
+    keys, _ = tweet_data
+    index = _build(keys, None, Aggregate.COUNT, 100, degree)
+    probe = tweet_queries[:100]
+
+    def run():
+        for query in probe:
+            index.estimate(query)
+
+    benchmark(run)

@@ -1,0 +1,90 @@
+"""Figure 15: COUNT response time vs absolute error threshold.
+
+(a) Single key (TWEET): RMI vs FITing-tree vs PolyFit-2, eps_abs in
+    {50, 100, 200, 500, 1000}.  Paper claim: PolyFit is about 1.5-6x faster
+    than the learned-index baselines.
+(b) Two keys (OSM): aR-tree vs PolyFit-2, eps_abs in {500, 1000, 2000}.
+    Paper claim: PolyFit is at least an order of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Aggregate, Guarantee, PolyFit2DIndex, PolyFitIndex
+from repro.baselines import AggregateRTree2D, FITingTree, RecursiveModelIndex
+from repro.bench import format_series, time_per_query_ns
+
+ABS_1KEY = [50, 100, 200, 500, 1000]
+ABS_2KEY = [500, 1000, 2000]
+
+
+def test_fig15a_single_key_count(tweet_data, tweet_queries):
+    """Single-key COUNT latency vs eps_abs for RMI / FITing-tree / PolyFit-2."""
+    keys, _ = tweet_data
+    rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+    series = {"RMI": [], "FITing-Tree": [], "PolyFit-2": []}
+    for eps in ABS_1KEY:
+        guarantee = Guarantee.absolute(eps)
+        fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=eps / 2)
+        polyfit = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, guarantee=guarantee)
+        series["RMI"].append(round(time_per_query_ns(
+            lambda q: rmi.query(q, guarantee), tweet_queries, repeats=1, method="RMI"
+        ).per_query_ns))
+        series["FITing-Tree"].append(round(time_per_query_ns(
+            lambda q: fiting.query(q, guarantee), tweet_queries, repeats=1, method="FIT"
+        ).per_query_ns))
+        series["PolyFit-2"].append(round(time_per_query_ns(
+            lambda q: polyfit.query(q, guarantee), tweet_queries, repeats=1, method="PolyFit"
+        ).per_query_ns))
+
+    print()
+    print(format_series("eps_abs", ABS_1KEY, series,
+                        title="Figure 15(a): COUNT (single key) time (ns) vs eps_abs"))
+
+    # Shape check: PolyFit never slower than both learned baselines at once.
+    for index in range(len(ABS_1KEY)):
+        assert series["PolyFit-2"][index] <= max(series["RMI"][index],
+                                                 series["FITing-Tree"][index]) * 1.25
+
+
+def test_fig15b_two_key_count(osm_data, osm_queries):
+    """Two-key COUNT latency vs eps_abs for aR-tree / PolyFit-2."""
+    xs, ys = osm_data
+    artree = AggregateRTree2D(xs, ys)
+    workload = osm_queries[:300]
+    series = {"aR-tree": [], "PolyFit-2": []}
+    for eps in ABS_2KEY:
+        guarantee = Guarantee.absolute(eps)
+        polyfit = PolyFit2DIndex.build(xs, ys, guarantee=guarantee, grid_resolution=96)
+        series["aR-tree"].append(round(time_per_query_ns(
+            lambda q: artree.rectangle_aggregate(q.x_low, q.x_high, q.y_low, q.y_high),
+            workload, repeats=1, method="aR-tree"
+        ).per_query_ns))
+        series["PolyFit-2"].append(round(time_per_query_ns(
+            lambda q: polyfit.query(q, guarantee), workload, repeats=1, method="PolyFit"
+        ).per_query_ns))
+
+    print()
+    print(format_series("eps_abs", ABS_2KEY, series,
+                        title="Figure 15(b): COUNT (two keys) time (ns) vs eps_abs"))
+
+    # Paper shape: PolyFit wins at every threshold.
+    for index in range(len(ABS_2KEY)):
+        assert series["PolyFit-2"][index] <= series["aR-tree"][index]
+
+
+@pytest.mark.benchmark(group="fig15")
+@pytest.mark.parametrize("eps", [50, 1000])
+def test_fig15_bench_polyfit_count(benchmark, eps, tweet_data, tweet_queries):
+    """pytest-benchmark target: PolyFit single-key COUNT at the sweep extremes."""
+    keys, _ = tweet_data
+    guarantee = Guarantee.absolute(eps)
+    index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, guarantee=guarantee)
+    probe = tweet_queries[:200]
+
+    def run():
+        for query in probe:
+            index.query(query, guarantee)
+
+    benchmark(run)

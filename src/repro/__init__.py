@@ -1,0 +1,130 @@
+"""repro — reproduction of PolyFit (EDBT 2021).
+
+PolyFit answers approximate range aggregate queries (COUNT, SUM, MIN, MAX)
+with deterministic absolute/relative error guarantees by indexing piecewise
+minimax-fitted polynomials instead of individual keys.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import PolyFitIndex, RangeQuery, Aggregate, Guarantee
+>>> keys = np.sort(np.random.default_rng(0).uniform(0, 1000, size=10_000))
+>>> index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT,
+...                            guarantee=Guarantee.absolute(100))
+>>> result = index.query(RangeQuery(100, 600, Aggregate.COUNT),
+...                      Guarantee.absolute(100))
+>>> abs(result.value - np.count_nonzero((keys >= 100) & (keys <= 600))) <= 100
+True
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from .config import (
+    Aggregate,
+    GuaranteeKind,
+    FitConfig,
+    SegmentationConfig,
+    IndexConfig,
+    QuadTreeConfig,
+    DEFAULT_DEGREE,
+)
+from .errors import (
+    ReproError,
+    DataError,
+    FittingError,
+    SegmentationError,
+    QueryError,
+    GuaranteeNotSatisfiedError,
+    NotSupportedError,
+    SerializationError,
+)
+from .queries import (
+    RangeQuery,
+    RangeQuery2D,
+    QueryResult,
+    Guarantee,
+    generate_range_queries,
+    generate_rectangle_queries,
+    QueryEngine,
+    evaluate_accuracy,
+)
+from .index import (
+    PolyFitIndex,
+    PolyFit2DIndex,
+    save_index,
+    load_index,
+    index_to_dict,
+    index_from_dict,
+)
+from .fitting import (
+    Polynomial1D,
+    Polynomial2D,
+    fit_minimax_polynomial,
+    fit_lstsq_polynomial,
+    fit_minimax_surface,
+    greedy_segmentation,
+    dp_segmentation,
+)
+from .functions import (
+    build_cumulative_function,
+    build_key_measure_function,
+    build_cumulative_2d,
+    CumulativeFunction,
+    KeyMeasureFunction,
+    Cumulative2D,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "Aggregate",
+    "GuaranteeKind",
+    "FitConfig",
+    "SegmentationConfig",
+    "IndexConfig",
+    "QuadTreeConfig",
+    "DEFAULT_DEGREE",
+    # errors
+    "ReproError",
+    "DataError",
+    "FittingError",
+    "SegmentationError",
+    "QueryError",
+    "GuaranteeNotSatisfiedError",
+    "NotSupportedError",
+    "SerializationError",
+    # queries
+    "RangeQuery",
+    "RangeQuery2D",
+    "QueryResult",
+    "Guarantee",
+    "generate_range_queries",
+    "generate_rectangle_queries",
+    "QueryEngine",
+    "evaluate_accuracy",
+    # indexes
+    "PolyFitIndex",
+    "PolyFit2DIndex",
+    "save_index",
+    "load_index",
+    "index_to_dict",
+    "index_from_dict",
+    # fitting
+    "Polynomial1D",
+    "Polynomial2D",
+    "fit_minimax_polynomial",
+    "fit_lstsq_polynomial",
+    "fit_minimax_surface",
+    "greedy_segmentation",
+    "dp_segmentation",
+    # functions
+    "build_cumulative_function",
+    "build_key_measure_function",
+    "build_cumulative_2d",
+    "CumulativeFunction",
+    "KeyMeasureFunction",
+    "Cumulative2D",
+]

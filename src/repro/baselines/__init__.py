@@ -1,0 +1,41 @@
+"""Baseline and competitor methods from the paper's evaluation (Table IV).
+
+* :mod:`exact` — the exact methods of Section III-B: key-cumulative array
+  (prefix sums + binary search) and a brute-force scanner; also a 2-D
+  prefix-sum grid.
+* :mod:`aggregate_tree` — the aggregate max/min segment tree and the 2-D
+  aggregate R-tree (aR-tree).
+* :mod:`btree` — an in-memory B+tree substrate (stand-in for the STX B-tree).
+* :mod:`rmi` — the Recursive Model Index (Kraska et al.) adapted to
+  approximate range aggregates, with linear-regression and tiny-MLP models.
+* :mod:`fiting_tree` — the FITing-tree (Galakatos et al.): error-bounded
+  piecewise-linear segmentation.
+* :mod:`sampling` — the S2 sequential-sampling estimator and the S-tree
+  (B+tree over a sample).
+* :mod:`histogram` — equi-width and entropy-based histograms (Hist).
+"""
+
+from .exact import KeyCumulativeArray, BruteForceAggregator, PrefixSumGrid2D
+from .aggregate_tree import AggregateSegmentTree, AggregateRTree2D
+from .btree import BPlusTree
+from .rmi import RecursiveModelIndex, LinearModel, TinyMLP
+from .fiting_tree import FITingTree
+from .sampling import SequentialSampler, SampledBTree
+from .histogram import EquiWidthHistogram, EntropyHistogram
+
+__all__ = [
+    "KeyCumulativeArray",
+    "BruteForceAggregator",
+    "PrefixSumGrid2D",
+    "AggregateSegmentTree",
+    "AggregateRTree2D",
+    "BPlusTree",
+    "RecursiveModelIndex",
+    "LinearModel",
+    "TinyMLP",
+    "FITingTree",
+    "SequentialSampler",
+    "SampledBTree",
+    "EquiWidthHistogram",
+    "EntropyHistogram",
+]

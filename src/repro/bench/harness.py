@@ -1,0 +1,102 @@
+"""Timing harness.
+
+The paper reports per-query response time in nanoseconds averaged over 1000
+queries.  :func:`time_per_query_ns` reproduces that protocol: run the whole
+workload ``repeats`` times with ``time.perf_counter_ns`` and report the best
+average per query (best-of-repeats suppresses warm-up and GC noise, which is
+the standard micro-benchmark convention).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..errors import QueryError
+
+__all__ = ["MethodTiming", "time_per_query_ns", "time_callable_ns"]
+
+
+@dataclass(frozen=True)
+class MethodTiming:
+    """Per-query timing for one method on one workload.
+
+    Attributes
+    ----------
+    method:
+        Method label (e.g. ``"PolyFit-2"``).
+    per_query_ns:
+        Average nanoseconds per query of the best repeat.
+    total_queries:
+        Number of queries in the workload.
+    repeats:
+        Number of measured repeats.
+    """
+
+    method: str
+    per_query_ns: float
+    total_queries: int
+    repeats: int
+
+
+def time_per_query_ns(
+    run_query: Callable[[object], object],
+    queries: Sequence[object],
+    *,
+    repeats: int = 3,
+    method: str = "method",
+    warmup: bool = True,
+) -> MethodTiming:
+    """Measure the average per-query latency of ``run_query`` over a workload.
+
+    Parameters
+    ----------
+    run_query:
+        Callable invoked once per query; its return value is ignored.
+    queries:
+        The workload.
+    repeats:
+        Number of timed passes; the fastest pass is reported.
+    method:
+        Label stored in the result.
+    warmup:
+        Run one untimed pass first to populate caches.
+    """
+    if not queries:
+        raise QueryError("empty workload")
+    if repeats < 1:
+        raise QueryError("repeats must be >= 1")
+    if warmup:
+        for query in queries:
+            run_query(query)
+    best_total = None
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for query in queries:
+            run_query(query)
+        elapsed = time.perf_counter_ns() - start
+        if best_total is None or elapsed < best_total:
+            best_total = elapsed
+    assert best_total is not None
+    return MethodTiming(
+        method=method,
+        per_query_ns=best_total / len(queries),
+        total_queries=len(queries),
+        repeats=repeats,
+    )
+
+
+def time_callable_ns(function: Callable[[], object], *, repeats: int = 1) -> float:
+    """Wall-clock nanoseconds of the fastest of ``repeats`` calls to ``function``."""
+    if repeats < 1:
+        raise QueryError("repeats must be >= 1")
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        function()
+        elapsed = time.perf_counter_ns() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    assert best is not None
+    return float(best)

@@ -1,0 +1,108 @@
+"""Plain-text reporting helpers for the benchmark drivers.
+
+Benchmarks print the same rows/series as the paper's tables and figures so a
+reader can eyeball the reproduced trends; these helpers keep that formatting
+consistent and also produce structured records suitable for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "ExperimentRecord", "record_to_lines"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render a simple fixed-width text table."""
+    columns = len(headers)
+    normalized_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in normalized_rows:
+        for index in range(columns):
+            value = row[index] if index < len(row) else ""
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in normalized_rows:
+        lines.append(
+            "  ".join(
+                (row[index] if index < len(row) else "").ljust(widths[index])
+                for index in range(columns)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Render one x-column plus one column per named series (a 'figure' as text)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e6 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+@dataclass
+class ExperimentRecord:
+    """Structured record of one reproduced experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper identifier (e.g. ``"Figure 15(a)"``).
+    description:
+        One-line description of what is measured.
+    parameters:
+        Key experiment parameters (dataset, epsilon values, ...).
+    measurements:
+        Mapping of row/series label to the measured value(s).
+    paper_claim:
+        The qualitative claim from the paper this experiment checks.
+    """
+
+    experiment_id: str
+    description: str
+    parameters: dict = field(default_factory=dict)
+    measurements: dict = field(default_factory=dict)
+    paper_claim: str = ""
+
+
+def record_to_lines(record: ExperimentRecord) -> list[str]:
+    """Render an :class:`ExperimentRecord` as markdown-ish text lines."""
+    lines = [f"## {record.experiment_id}", record.description, ""]
+    if record.paper_claim:
+        lines.append(f"Paper claim: {record.paper_claim}")
+    if record.parameters:
+        lines.append("Parameters: " + ", ".join(f"{k}={v}" for k, v in record.parameters.items()))
+    for label, value in record.measurements.items():
+        lines.append(f"- {label}: {value}")
+    lines.append("")
+    return lines

@@ -1,0 +1,156 @@
+"""Command-line interface for building and querying PolyFit indexes.
+
+Provides three subcommands mirroring a typical deployment workflow:
+
+``build``
+    Load a (key, measure) CSV, build a PolyFit index for the requested
+    aggregate and guarantee, and write it to a JSON file.
+
+``query``
+    Load a previously built index and answer one range query.
+
+``info``
+    Print summary statistics of a built index (aggregate, delta, segments,
+    payload size).
+
+Example
+-------
+::
+
+    python -m repro.cli build ticks.csv index.json --aggregate max --eps-abs 50
+    python -m repro.cli query index.json 1000 2000 --eps-abs 50
+    python -m repro.cli info index.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import Aggregate, FitConfig, IndexConfig, SegmentationConfig
+from .datasets.loaders import load_keyed_csv
+from .errors import ReproError
+from .index import PolyFitIndex, load_index, save_index
+from .queries.types import Guarantee, RangeQuery
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PolyFit: approximate range aggregate queries with guarantees",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build", help="build an index from a CSV file")
+    build.add_argument("input_csv", help="CSV file with key and measure columns")
+    build.add_argument("output_index", help="path of the JSON index to write")
+    build.add_argument("--aggregate", choices=[a.value for a in Aggregate],
+                       default="count", help="aggregate the index answers")
+    build.add_argument("--key-column", type=int, default=0)
+    build.add_argument("--measure-column", type=int, default=1)
+    build.add_argument("--no-header", action="store_true",
+                       help="the CSV file has no header row")
+    build.add_argument("--degree", type=int, default=2, help="polynomial degree")
+    group = build.add_mutually_exclusive_group(required=True)
+    group.add_argument("--eps-abs", type=float,
+                       help="absolute error guarantee (Problem 1)")
+    group.add_argument("--delta", type=float,
+                       help="per-segment budget (for relative-error workloads)")
+
+    query = subparsers.add_parser("query", help="answer one range query")
+    query.add_argument("index_file", help="JSON index written by `build`")
+    query.add_argument("low", type=float, help="lower key bound (inclusive)")
+    query.add_argument("high", type=float, help="upper key bound (inclusive)")
+    guarantee = query.add_mutually_exclusive_group()
+    guarantee.add_argument("--eps-abs", type=float, help="absolute error guarantee")
+    guarantee.add_argument("--eps-rel", type=float, help="relative error guarantee")
+
+    info = subparsers.add_parser("info", help="describe a built index")
+    info.add_argument("index_file", help="JSON index written by `build`")
+
+    return parser
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    aggregate = Aggregate(args.aggregate)
+    keys, measures = load_keyed_csv(
+        args.input_csv,
+        key_column=args.key_column,
+        measure_column=args.measure_column,
+        has_header=not args.no_header,
+    )
+    config = IndexConfig(
+        fit=FitConfig(degree=args.degree),
+        segmentation=SegmentationConfig(delta=args.delta if args.delta else 1.0),
+    )
+    index = PolyFitIndex.build(
+        keys,
+        None if aggregate is Aggregate.COUNT else measures,
+        aggregate=aggregate,
+        delta=args.delta,
+        guarantee=Guarantee.absolute(args.eps_abs) if args.eps_abs else None,
+        config=config,
+    )
+    save_index(index, args.output_index)
+    print(
+        f"built {aggregate.value} index: {index.num_segments} degree-{index.degree} "
+        f"segments, delta={index.delta:g}, {index.size_in_bytes() / 1024:.2f} KiB "
+        f"-> {args.output_index}"
+    )
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index_file)
+    query = RangeQuery(args.low, args.high, index.aggregate)
+    guarantee = None
+    if args.eps_abs:
+        guarantee = Guarantee.absolute(args.eps_abs)
+    elif args.eps_rel:
+        guarantee = Guarantee.relative(args.eps_rel)
+    result = index.query(query, guarantee)
+    bound = "n/a" if result.error_bound is None else f"{result.error_bound:g}"
+    print(
+        f"{index.aggregate.value}[{args.low:g}, {args.high:g}] = {result.value:g} "
+        f"(guaranteed={result.guaranteed}, exact_fallback={result.exact_fallback}, "
+        f"error_bound={bound})"
+    )
+    return 0
+
+
+def _command_info(args: argparse.Namespace) -> int:
+    index = load_index(args.index_file)
+    print(f"aggregate:        {index.aggregate.value}")
+    print(f"delta:            {index.delta:g}")
+    print(f"degree:           {index.degree}")
+    print(f"segments:         {index.num_segments}")
+    print(f"payload size:     {index.size_in_bytes() / 1024:.2f} KiB")
+    spans = [segment.num_points for segment in index.segments]
+    print(f"points/segment:   min={min(spans)} max={max(spans)}")
+    return 0
+
+
+_COMMANDS = {
+    "build": _command_build,
+    "query": _command_query,
+    "info": _command_info,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Dataset generators and loaders.
+
+The paper evaluates on three real datasets (HKI stock ticks, TWEET latitudes,
+OSM points).  Those raw files are not redistributable, so this package ships
+synthetic generators that reproduce the *shape* properties the evaluation
+depends on (see DESIGN.md section 3), plus simple CSV loaders for users who
+have their own data.
+"""
+
+from .synthetic import (
+    stock_index_walk,
+    tweet_latitudes,
+    osm_points,
+    uniform_keys,
+    zipf_keys,
+    piecewise_smooth_measures,
+)
+from .loaders import load_keyed_csv, load_xy_csv
+from .registry import DatasetSpec, get_dataset, list_datasets
+
+__all__ = [
+    "stock_index_walk",
+    "tweet_latitudes",
+    "osm_points",
+    "uniform_keys",
+    "zipf_keys",
+    "piecewise_smooth_measures",
+    "load_keyed_csv",
+    "load_xy_csv",
+    "DatasetSpec",
+    "get_dataset",
+    "list_datasets",
+]

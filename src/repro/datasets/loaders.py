@@ -1,0 +1,109 @@
+"""CSV loaders for user-provided datasets.
+
+The paper uses raw CSV exports (Dukascopy ticks, tweet dumps, OSM extracts).
+These helpers load equivalent files: a (key, measure) file for one-key
+workloads and an (x, y) file for two-key workloads.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["load_keyed_csv", "load_xy_csv"]
+
+
+def load_keyed_csv(
+    path: str | Path,
+    key_column: int = 0,
+    measure_column: int = 1,
+    *,
+    has_header: bool = True,
+    delimiter: str = ",",
+    sort: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Load a (key, measure) dataset from a delimited text file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    key_column, measure_column:
+        Zero-based column indices of the key and the measure.
+    has_header:
+        Skip the first row when True.
+    delimiter:
+        Field delimiter.
+    sort:
+        Sort records by key (required by all index builders).
+
+    Returns
+    -------
+    keys, measures:
+        Float64 arrays of equal length.
+    """
+    keys: list[float] = []
+    measures: list[float] = []
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for row_number, row in enumerate(reader):
+            if has_header and row_number == 0:
+                continue
+            if not row:
+                continue
+            try:
+                keys.append(float(row[key_column]))
+                measures.append(float(row[measure_column]))
+            except (IndexError, ValueError) as exc:
+                raise DataError(
+                    f"bad row {row_number} in {path}: {row!r}"
+                ) from exc
+    if not keys:
+        raise DataError(f"no records loaded from {path}")
+    key_array = np.asarray(keys, dtype=np.float64)
+    measure_array = np.asarray(measures, dtype=np.float64)
+    if sort:
+        order = np.argsort(key_array, kind="stable")
+        key_array = key_array[order]
+        measure_array = measure_array[order]
+    return key_array, measure_array
+
+
+def load_xy_csv(
+    path: str | Path,
+    x_column: int = 0,
+    y_column: int = 1,
+    *,
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Load a two-key (x, y) point set from a delimited text file."""
+    xs: list[float] = []
+    ys: list[float] = []
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for row_number, row in enumerate(reader):
+            if has_header and row_number == 0:
+                continue
+            if not row:
+                continue
+            try:
+                xs.append(float(row[x_column]))
+                ys.append(float(row[y_column]))
+            except (IndexError, ValueError) as exc:
+                raise DataError(
+                    f"bad row {row_number} in {path}: {row!r}"
+                ) from exc
+    if not xs:
+        raise DataError(f"no records loaded from {path}")
+    return np.asarray(xs, dtype=np.float64), np.asarray(ys, dtype=np.float64)

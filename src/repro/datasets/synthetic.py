@@ -1,0 +1,286 @@
+"""Synthetic dataset generators.
+
+Each generator returns numpy arrays shaped like the datasets the paper uses:
+
+* :func:`stock_index_walk` — a (timestamp, index-value) series standing in for
+  the Hong Kong 40-Index tick data (HKI, 0.9M rows).  The relevant property is
+  a smooth but strongly non-linear key->measure curve.
+* :func:`tweet_latitudes` — a 1-D key set standing in for tweet latitudes
+  (TWEET, 1M rows).  The relevant property is a multi-modal key density whose
+  cumulative count function is S-shaped.
+* :func:`osm_points` — a 2-D clustered point set standing in for OpenStreetMap
+  nodes (OSM, 100M rows in the paper; configurable here).
+
+All generators take an explicit ``seed`` so experiments are reproducible, and
+return float64 arrays sorted the way the index builders expect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = [
+    "stock_index_walk",
+    "tweet_latitudes",
+    "osm_points",
+    "uniform_keys",
+    "zipf_keys",
+    "piecewise_smooth_measures",
+]
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _require_positive(n: int, name: str = "n") -> None:
+    if n <= 0:
+        raise DataError(f"{name} must be positive, got {n}")
+
+
+def stock_index_walk(
+    n: int = 900_000,
+    seed: int | None = 7,
+    start_value: float = 28_000.0,
+    daily_points: int = 3_600,
+    volatility: float = 9.0,
+    mean_reversion: float = 5e-4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate a stock-index-like (timestamp, value) series.
+
+    The series is a mean-reverting random walk with mild intraday seasonality,
+    bounded to stay within a plausible band around ``start_value``.  It mimics
+    the HKI dataset of the paper: distinct integer-like timestamps as keys and
+    a smooth, non-linear measure curve suitable for MAX/MIN queries.
+
+    Parameters
+    ----------
+    n:
+        Number of records.
+    seed:
+        Seed for the random generator (``None`` for non-deterministic).
+    start_value:
+        Initial index level.
+    daily_points:
+        Number of ticks per synthetic trading day (controls the seasonality
+        period).
+    volatility:
+        Standard deviation of per-tick innovations (index points).
+    mean_reversion:
+        Strength of the pull back towards ``start_value``.
+
+    Returns
+    -------
+    keys, measures:
+        ``keys`` are strictly increasing float timestamps starting at 0;
+        ``measures`` are the index values (all positive).
+    """
+    _require_positive(n)
+    rng = _rng(seed)
+    keys = np.arange(n, dtype=np.float64)
+    # Non-uniform tick spacing: add jitter but keep strict monotonicity.
+    keys += rng.uniform(0.0, 0.45, size=n)
+
+    innovations = rng.normal(0.0, volatility, size=n)
+    values = np.empty(n, dtype=np.float64)
+    level = start_value
+    day_phase = 2.0 * np.pi / max(daily_points, 1)
+    seasonal = 40.0 * np.sin(day_phase * np.arange(n)) * rng.uniform(0.5, 1.5)
+    for i in range(n):
+        level += innovations[i] - mean_reversion * (level - start_value)
+        values[i] = level
+    values = values + seasonal
+    # Keep measures strictly positive (paper assumes non-negative measures).
+    floor = max(1.0, values.min())
+    if values.min() <= 0:
+        values = values - values.min() + floor
+    return keys, values
+
+
+def tweet_latitudes(
+    n: int = 1_000_000,
+    seed: int | None = 11,
+    *,
+    with_counts: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate latitude-like 1-D keys with per-key measures.
+
+    Latitudes are drawn from a mixture of Gaussians centred on heavily
+    populated latitude bands (roughly North America, Europe, East/South Asia,
+    South America), clipped to ``[-90, 90]``.  Duplicate keys are perturbed so
+    the paper's distinct-key assumption holds.
+
+    Parameters
+    ----------
+    n:
+        Number of records.
+    seed:
+        RNG seed.
+    with_counts:
+        When True the measure of each record is a small positive integer
+        (number of tweets at that location); when False all measures are 1,
+        which makes SUM equal to COUNT.
+
+    Returns
+    -------
+    keys, measures:
+        Sorted unique keys and their non-negative measures.
+    """
+    _require_positive(n)
+    rng = _rng(seed)
+    centers = np.array([40.0, 50.0, 23.0, 1.0, -15.0, -33.0])
+    scales = np.array([6.0, 4.0, 8.0, 6.0, 7.0, 5.0])
+    weights = np.array([0.28, 0.22, 0.22, 0.10, 0.10, 0.08])
+    weights = weights / weights.sum()
+    component = rng.choice(len(centers), size=n, p=weights)
+    lat = rng.normal(centers[component], scales[component])
+    lat = np.clip(lat, -89.9, 89.9)
+    keys = np.sort(lat)
+    # Enforce strictly increasing keys by spreading exact duplicates.
+    keys = _make_strictly_increasing(keys)
+    if with_counts:
+        measures = rng.integers(1, 6, size=n).astype(np.float64)
+    else:
+        measures = np.ones(n, dtype=np.float64)
+    return keys, measures
+
+
+def osm_points(
+    n: int = 1_000_000,
+    seed: int | None = 13,
+    clusters: int = 40,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate clustered 2-D (longitude, latitude) points.
+
+    Points are drawn from a mixture of anisotropic Gaussian clusters placed
+    uniformly over the lon/lat box plus a 10% uniform background, mimicking
+    the geographic clustering of OpenStreetMap nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of points.
+    seed:
+        RNG seed.
+    clusters:
+        Number of Gaussian clusters.
+
+    Returns
+    -------
+    xs, ys:
+        Longitude in ``[-180, 180]`` and latitude in ``[-85, 85]``.
+    """
+    _require_positive(n)
+    if clusters <= 0:
+        raise DataError("clusters must be positive")
+    rng = _rng(seed)
+    n_background = int(0.1 * n)
+    n_clustered = n - n_background
+    centers_x = rng.uniform(-170.0, 170.0, size=clusters)
+    centers_y = rng.uniform(-75.0, 75.0, size=clusters)
+    sx = rng.uniform(1.0, 12.0, size=clusters)
+    sy = rng.uniform(1.0, 10.0, size=clusters)
+    weights = rng.dirichlet(np.ones(clusters) * 2.0)
+    assignment = rng.choice(clusters, size=n_clustered, p=weights)
+    xs = rng.normal(centers_x[assignment], sx[assignment])
+    ys = rng.normal(centers_y[assignment], sy[assignment])
+    bx = rng.uniform(-180.0, 180.0, size=n_background)
+    by = rng.uniform(-85.0, 85.0, size=n_background)
+    xs = np.concatenate([xs, bx])
+    ys = np.concatenate([ys, by])
+    xs = np.clip(xs, -180.0, 180.0)
+    ys = np.clip(ys, -85.0, 85.0)
+    return xs, ys
+
+
+def uniform_keys(
+    n: int,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: int | None = 3,
+) -> np.ndarray:
+    """Generate ``n`` strictly increasing keys uniform on ``[low, high]``."""
+    _require_positive(n)
+    if not high > low:
+        raise DataError(f"need high > low, got [{low}, {high}]")
+    rng = _rng(seed)
+    keys = np.sort(rng.uniform(low, high, size=n))
+    return _make_strictly_increasing(keys)
+
+
+def zipf_keys(
+    n: int,
+    alpha: float = 1.3,
+    universe: int = 1_000_000,
+    seed: int | None = 5,
+) -> np.ndarray:
+    """Generate skewed keys from a Zipf-like distribution.
+
+    Useful for stress-testing segmentation on highly non-uniform cumulative
+    functions.  Keys are made strictly increasing by jittering duplicates.
+    """
+    _require_positive(n)
+    if alpha <= 1.0:
+        raise DataError("alpha must be > 1 for a Zipf distribution")
+    rng = _rng(seed)
+    raw = rng.zipf(alpha, size=n).astype(np.float64)
+    raw = np.minimum(raw, float(universe))
+    keys = np.sort(raw)
+    return _make_strictly_increasing(keys)
+
+
+def piecewise_smooth_measures(
+    keys: np.ndarray,
+    pieces: int = 5,
+    amplitude: float = 100.0,
+    noise: float = 1.0,
+    seed: int | None = 17,
+) -> np.ndarray:
+    """Generate measures that are piecewise-smooth functions of the keys.
+
+    Each piece is a random low-degree polynomial of the key; this produces a
+    DFmax curve that is easy for piecewise polynomials and hard for a single
+    global model — the regime the paper's Figure 5 illustrates.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    if keys.ndim != 1 or keys.size == 0:
+        raise DataError("keys must be a non-empty 1-D array")
+    if pieces <= 0:
+        raise DataError("pieces must be positive")
+    rng = _rng(seed)
+    n = keys.size
+    boundaries = np.linspace(0, n, pieces + 1, dtype=int)
+    measures = np.empty(n, dtype=np.float64)
+    for piece in range(pieces):
+        lo, hi = boundaries[piece], boundaries[piece + 1]
+        if hi <= lo:
+            continue
+        seg_keys = keys[lo:hi]
+        span = seg_keys[-1] - seg_keys[0]
+        t = (seg_keys - seg_keys[0]) / span if span > 0 else np.zeros(hi - lo)
+        coeffs = rng.normal(0.0, amplitude, size=4)
+        measures[lo:hi] = (
+            coeffs[0]
+            + coeffs[1] * t
+            + coeffs[2] * t**2
+            + coeffs[3] * t**3
+            + rng.normal(0.0, noise, size=hi - lo)
+        )
+    measures = measures - measures.min() + 1.0
+    return measures
+
+
+def _make_strictly_increasing(sorted_keys: np.ndarray) -> np.ndarray:
+    """Jitter a sorted key array so that all keys are strictly increasing."""
+    keys = np.asarray(sorted_keys, dtype=np.float64).copy()
+    if keys.size <= 1:
+        return keys
+    diffs = np.diff(keys)
+    if np.all(diffs > 0):
+        return keys
+    # Spread duplicates by a tiny epsilon proportional to the key scale.
+    scale = max(abs(keys[-1] - keys[0]), 1.0)
+    eps = scale * 1e-9
+    return keys + np.arange(keys.size, dtype=np.float64) * eps

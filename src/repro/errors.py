@@ -1,0 +1,73 @@
+"""Exception hierarchy for the PolyFit reproduction library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  Each subclass marks a distinct failure mode of the
+pipeline: invalid input data, an infeasible fitting problem, a malformed query,
+or a guarantee that cannot be certified at query time.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "FittingError",
+    "SegmentationError",
+    "QueryError",
+    "GuaranteeNotSatisfiedError",
+    "NotSupportedError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataError(ReproError):
+    """Raised when an input dataset is malformed.
+
+    Typical causes: empty arrays, mismatched key/measure lengths, NaN or
+    infinite keys, or negative measures where the paper's model requires
+    non-negative measures.
+    """
+
+
+class FittingError(ReproError):
+    """Raised when a minimax polynomial fit cannot be computed.
+
+    This usually indicates that the underlying linear program was reported
+    infeasible or unbounded by the solver, which should not happen for
+    well-formed inputs, or that a degenerate interval (zero points) was
+    supplied.
+    """
+
+
+class SegmentationError(ReproError):
+    """Raised when a segmentation routine cannot cover the key domain."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (e.g. lower bound above upper bound)."""
+
+
+class GuaranteeNotSatisfiedError(ReproError):
+    """Raised when a requested error guarantee cannot be certified.
+
+    For relative-error queries (Problem 2 of the paper) the certificate
+    ``A >= c * delta * (1 + 1/eps_rel)`` may fail; the engine normally falls
+    back to the exact method, but callers that disable the fallback receive
+    this exception instead.
+    """
+
+
+class NotSupportedError(ReproError):
+    """Raised when a method does not support the requested operation.
+
+    Mirrors the 'n/a' entries of Table IV/V in the paper (e.g. RMI does not
+    support MAX queries or two-key queries).
+    """
+
+
+class SerializationError(ReproError):
+    """Raised when an index cannot be serialized or deserialized."""

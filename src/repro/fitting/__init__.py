@@ -1,0 +1,36 @@
+"""Minimax polynomial fitting and segmentation.
+
+This package implements the curve-fitting machinery of PolyFit:
+
+* :mod:`polynomial` — evaluation, differentiation and constrained extrema of
+  univariate and bivariate polynomials (the closed-form tools used at query
+  time for MAX/MIN queries, Equation 17).
+* :mod:`minimax` — the minimax (Chebyshev / L-infinity) polynomial fit of a
+  point set, solved as the linear program of Equation 9 via scipy's HiGHS
+  solver, with fast paths for trivial cases.
+* :mod:`segmentation` — the Greedy Segmentation (GS) algorithm (Algorithm 1),
+  its exponential-search acceleration, and the dynamic-programming optimum
+  used as a reference.
+* :mod:`quadtree` — the quadtree splitter used for two-key surfaces
+  (Section VI, Figure 13).
+"""
+
+from .polynomial import Polynomial1D, Polynomial2D
+from .minimax import MinimaxFit, fit_minimax_polynomial, fit_lstsq_polynomial, fit_minimax_surface
+from .segmentation import Segment, greedy_segmentation, dp_segmentation, segment_count
+from .quadtree import QuadCell, build_quadtree_surface
+
+__all__ = [
+    "Polynomial1D",
+    "Polynomial2D",
+    "MinimaxFit",
+    "fit_minimax_polynomial",
+    "fit_lstsq_polynomial",
+    "fit_minimax_surface",
+    "Segment",
+    "greedy_segmentation",
+    "dp_segmentation",
+    "segment_count",
+    "QuadCell",
+    "build_quadtree_surface",
+]

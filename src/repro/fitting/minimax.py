@@ -1,0 +1,296 @@
+"""Minimax (L-infinity / Chebyshev) polynomial fitting.
+
+The core fitting problem of the paper (Definition 2 / Equation 9): given
+points ``(k_i, F(k_i))`` in an interval, find polynomial coefficients that
+minimize the *maximum* absolute deviation.  This is a linear program in the
+coefficients plus the slack ``t``:
+
+    minimize  t
+    s.t.      -t <= F(k_i) - P(k_i) <= t      for every point i
+
+We solve it with scipy's HiGHS solver.  Fast paths:
+
+* ``degree >= n - 1`` — the polynomial interpolates all points exactly
+  (error 0), so we solve the Vandermonde system directly.
+* ``n == 1`` — a constant through the single point.
+* least-squares warm start is used to detect near-zero-error cases cheaply.
+
+For the two-key case the same LP is built over the bivariate monomial basis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import FittingError
+from .polynomial import Polynomial1D, Polynomial2D, _total_degree_terms
+
+__all__ = [
+    "MinimaxFit",
+    "fit_minimax_polynomial",
+    "fit_lstsq_polynomial",
+    "fit_minimax_surface",
+]
+
+
+@dataclass(frozen=True)
+class MinimaxFit:
+    """Result of a minimax fit.
+
+    Attributes
+    ----------
+    polynomial:
+        The fitted :class:`Polynomial1D` or :class:`Polynomial2D`.
+    max_error:
+        The achieved maximum absolute deviation ``E(I)`` over the fitted
+        points (Equation 8).
+    """
+
+    polynomial: Polynomial1D | Polynomial2D
+    max_error: float
+
+
+def _scaling(values: np.ndarray) -> tuple[float, float]:
+    """Affine map sending ``[min, max]`` of ``values`` to ``[-1, 1]``.
+
+    Degenerate spans (identical values, or a span so small that halving it
+    underflows to zero) fall back to unit scale so the resulting polynomial
+    is always well defined.
+    """
+    low = float(values.min())
+    high = float(values.max())
+    half_span = (high - low) / 2.0
+    if not np.isfinite(half_span) or half_span <= 0.0:
+        return low, 1.0
+    return (low + high) / 2.0, half_span
+
+
+def _design_matrix_1d(keys: np.ndarray, degree: int, shift: float, scale: float) -> np.ndarray:
+    t = (keys - shift) / scale
+    return np.vander(t, N=degree + 1, increasing=True)
+
+
+def _max_abs_residual(design: np.ndarray, values: np.ndarray, coeffs: np.ndarray) -> float:
+    return float(np.max(np.abs(values - design @ coeffs))) if values.size else 0.0
+
+
+def _solve_lstsq_safe(design: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Least-squares solve that degrades to a constant fit when the SVD fails.
+
+    Pathological inputs (subnormal keys mixed with normal ones, exactly
+    coincident scaled keys) can make LAPACK's SVD fail to converge; a constant
+    polynomial through the mean is always a valid fallback because the caller
+    recomputes the achieved error afterwards.
+    """
+    try:
+        coeffs, *_ = np.linalg.lstsq(design, values, rcond=None)
+        if np.all(np.isfinite(coeffs)):
+            return coeffs
+    except np.linalg.LinAlgError:
+        pass
+    fallback = np.zeros(design.shape[1])
+    fallback[0] = float(values.mean()) if values.size else 0.0
+    return fallback
+
+
+def _achieved_error(polynomial, keys: np.ndarray, values: np.ndarray) -> float:
+    """Maximum absolute residual of the fitted polynomial, evaluated the same
+    way queries evaluate it (Horner on the scaled basis), so the reported
+    error always matches what callers will observe."""
+    residual = np.abs(values - np.asarray(polynomial(keys)))
+    return float(residual.max()) if residual.size else 0.0
+
+
+def _solve_minimax_lp(design: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, float]:
+    """Solve ``min_t  s.t. |values - design @ a| <= t`` with HiGHS.
+
+    Variables are ``[a_0 ... a_p, t]``.  Coefficients are free; ``t >= 0``.
+    """
+    n_points, n_coeffs = design.shape
+    n_vars = n_coeffs + 1
+    objective = np.zeros(n_vars)
+    objective[-1] = 1.0
+
+    # design @ a - t <= values      (residual >= -t)
+    # -design @ a - t <= -values    (residual <= t)
+    upper = np.hstack([design, -np.ones((n_points, 1))])
+    lower = np.hstack([-design, -np.ones((n_points, 1))])
+    a_ub = np.vstack([upper, lower])
+    b_ub = np.concatenate([values, -values])
+
+    bounds = [(None, None)] * n_coeffs + [(0.0, None)]
+    result = linprog(objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        raise FittingError(f"minimax LP failed: {result.message}")
+    coeffs = result.x[:n_coeffs]
+    return coeffs, float(result.x[-1])
+
+
+def fit_lstsq_polynomial(
+    keys: np.ndarray,
+    values: np.ndarray,
+    degree: int,
+    *,
+    rescale: bool = True,
+) -> MinimaxFit:
+    """Least-squares polynomial fit (not minimax-optimal).
+
+    Used as a cheap warm start and as the ablation comparator: its max error
+    is an upper bound witness for the true minimax error.
+    """
+    keys, values = _validate_points(keys, values)
+    shift, scale = _scaling(keys) if rescale else (0.0, 1.0)
+    effective_degree = min(degree, keys.size - 1)
+    design = _design_matrix_1d(keys, effective_degree, shift, scale)
+    coeffs = _solve_lstsq_safe(design, values)
+    coeffs = _pad_coeffs(coeffs, degree)
+    poly = Polynomial1D(coeffs, shift, scale)
+    return MinimaxFit(polynomial=poly, max_error=_achieved_error(poly, keys, values))
+
+
+def fit_minimax_polynomial(
+    keys: np.ndarray,
+    values: np.ndarray,
+    degree: int,
+    *,
+    rescale: bool = True,
+    solver: str = "auto",
+) -> MinimaxFit:
+    """Minimax polynomial fit of the points ``(keys, values)``.
+
+    Parameters
+    ----------
+    keys, values:
+        The points to fit (keys need not be sorted).
+    degree:
+        Polynomial degree ``deg``.
+    rescale:
+        Map keys affinely to ``[-1, 1]`` before fitting (recommended).
+    solver:
+        ``"auto"`` (interpolation fast path, then LP), ``"lp"`` (always LP),
+        or ``"lstsq"`` (plain least squares; *not* minimax optimal — used for
+        ablations only).
+
+    Returns
+    -------
+    MinimaxFit
+        The fitted polynomial and its achieved maximum absolute error.
+
+    Raises
+    ------
+    FittingError
+        If the points are malformed or the LP solver fails.
+    """
+    keys, values = _validate_points(keys, values)
+    if degree < 0:
+        raise FittingError(f"degree must be >= 0, got {degree}")
+    if solver not in ("auto", "lp", "lstsq"):
+        raise FittingError(f"unknown solver {solver!r}")
+
+    if solver == "lstsq":
+        return fit_lstsq_polynomial(keys, values, degree, rescale=rescale)
+
+    shift, scale = _scaling(keys) if rescale else (0.0, 1.0)
+
+    # Fast path: the polynomial has at least as many parameters as points, so
+    # it can interpolate them (near-)exactly.  Least squares is used instead
+    # of an exact solve so nearly-coincident keys (singular Vandermonde
+    # matrices) degrade gracefully instead of raising.
+    if solver == "auto" and keys.size <= degree + 1:
+        effective_degree = keys.size - 1
+        design = _design_matrix_1d(keys, effective_degree, shift, scale)
+        if keys.size > 1:
+            coeffs = _solve_lstsq_safe(design, values)
+        else:
+            coeffs = values.copy()
+        coeffs = _pad_coeffs(coeffs, degree)
+        poly = Polynomial1D(coeffs, shift, scale)
+        return MinimaxFit(polynomial=poly, max_error=_achieved_error(poly, keys, values))
+
+    design = _design_matrix_1d(keys, degree, shift, scale)
+    coeffs, error = _solve_minimax_lp(design, values)
+    # The LP reports the optimal t; recompute the residual with the same
+    # evaluation scheme queries use and report the larger of the two, so the
+    # stored error is never optimistic.
+    poly = Polynomial1D(coeffs, shift, scale)
+    return MinimaxFit(polynomial=poly, max_error=max(error, _achieved_error(poly, keys, values)))
+
+
+def fit_minimax_surface(
+    us: np.ndarray,
+    vs: np.ndarray,
+    values: np.ndarray,
+    degree: int,
+    *,
+    rescale: bool = True,
+    solver: str = "auto",
+) -> MinimaxFit:
+    """Minimax fit of a bivariate polynomial surface (Section VI).
+
+    Same LP as the 1-D case but over the total-degree monomial basis
+    ``u^i v^j`` with ``i + j <= degree``.
+    """
+    us = np.asarray(us, dtype=np.float64).ravel()
+    vs = np.asarray(vs, dtype=np.float64).ravel()
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if us.size == 0:
+        raise FittingError("cannot fit an empty point set")
+    if not (us.size == vs.size == values.size):
+        raise FittingError("coordinate and value arrays must have equal length")
+    if not (
+        np.all(np.isfinite(us)) and np.all(np.isfinite(vs)) and np.all(np.isfinite(values))
+    ):
+        raise FittingError("inputs contain NaN or infinite values")
+    if degree < 0:
+        raise FittingError("degree must be >= 0")
+
+    shift_u, scale_u = _scaling(us) if rescale else (0.0, 1.0)
+    shift_v, scale_v = _scaling(vs) if rescale else (0.0, 1.0)
+    template = Polynomial2D(
+        coeffs=np.zeros(len(_total_degree_terms(degree))),
+        degree=degree,
+        shift_u=shift_u,
+        scale_u=scale_u,
+        shift_v=shift_v,
+        scale_v=scale_v,
+    )
+    design = template.design_matrix(us, vs)
+
+    if solver == "lstsq" or (solver == "auto" and us.size <= design.shape[1]):
+        coeffs = _solve_lstsq_safe(design, values)
+        error = _max_abs_residual(design, values, coeffs)
+    else:
+        coeffs, lp_error = _solve_minimax_lp(design, values)
+        error = max(lp_error, _max_abs_residual(design, values, coeffs))
+    surface = Polynomial2D(
+        coeffs=coeffs,
+        degree=degree,
+        shift_u=shift_u,
+        scale_u=scale_u,
+        shift_v=shift_v,
+        scale_v=scale_v,
+    )
+    return MinimaxFit(polynomial=surface, max_error=error)
+
+
+def _validate_points(keys: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    keys = np.asarray(keys, dtype=np.float64).ravel()
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if keys.size == 0:
+        raise FittingError("cannot fit an empty point set")
+    if keys.size != values.size:
+        raise FittingError("keys and values must have equal length")
+    if not (np.all(np.isfinite(keys)) and np.all(np.isfinite(values))):
+        raise FittingError("inputs contain NaN or infinite values")
+    return keys, values
+
+
+def _pad_coeffs(coeffs: np.ndarray, degree: int) -> np.ndarray:
+    """Zero-pad coefficients up to ``degree + 1`` entries."""
+    coeffs = np.atleast_1d(np.asarray(coeffs, dtype=np.float64))
+    if coeffs.size < degree + 1:
+        coeffs = np.concatenate([coeffs, np.zeros(degree + 1 - coeffs.size)])
+    return coeffs

@@ -1,0 +1,260 @@
+"""Polynomial representations used by PolyFit segments and surfaces.
+
+Segments store their polynomial in a *scaled* basis: keys are affinely mapped
+to ``[-1, 1]`` over the segment's key span before evaluation.  This keeps the
+Vandermonde systems well conditioned for real-world keys (timestamps in the
+hundreds of thousands raised to the 3rd or 4th power overflow double precision
+precision budgets quickly).  The scaling is part of the polynomial object, so
+callers always evaluate in raw key space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FittingError, QueryError
+
+__all__ = ["Polynomial1D", "Polynomial2D"]
+
+
+@dataclass(frozen=True)
+class Polynomial1D:
+    """A univariate polynomial with an affine input scaling.
+
+    The value at a raw key ``k`` is ``sum_j coeffs[j] * t**j`` where
+    ``t = (k - shift) / scale``.
+
+    Attributes
+    ----------
+    coeffs:
+        Coefficients in increasing-degree order (length ``degree + 1``).
+    shift, scale:
+        Affine input mapping; ``scale`` must be positive.
+    """
+
+    coeffs: np.ndarray
+    shift: float = 0.0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        coeffs = np.atleast_1d(np.asarray(self.coeffs, dtype=np.float64))
+        if coeffs.ndim != 1 or coeffs.size == 0:
+            raise FittingError("coefficients must be a non-empty 1-D array")
+        if not np.all(np.isfinite(coeffs)):
+            raise FittingError("coefficients contain NaN or infinite values")
+        if self.scale <= 0:
+            raise FittingError(f"scale must be positive, got {self.scale}")
+        object.__setattr__(self, "coeffs", coeffs)
+        object.__setattr__(self, "_coeff_list", [float(c) for c in coeffs])
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial (number of coefficients minus one)."""
+        return int(self.coeffs.size - 1)
+
+    def _to_local(self, k: np.ndarray | float) -> np.ndarray | float:
+        return (np.asarray(k, dtype=np.float64) - self.shift) / self.scale
+
+    def __call__(self, k: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the polynomial at raw key(s) ``k`` (Horner's scheme).
+
+        Scalar inputs take a pure-Python fast path: query-time evaluations are
+        single keys, and plain float arithmetic avoids per-call numpy
+        dispatch overhead without changing the result.
+        """
+        if isinstance(k, (int, float)):
+            t = (float(k) - self.shift) / self.scale
+            result = 0.0
+            for coefficient in self._coeff_list[::-1]:
+                result = result * t + coefficient
+            return result
+        t = self._to_local(k)
+        result = np.zeros_like(t, dtype=np.float64)
+        for coefficient in self.coeffs[::-1]:
+            result = result * t + coefficient
+        if np.isscalar(k) or np.ndim(k) == 0:
+            return float(result)
+        return result
+
+    def derivative(self) -> "Polynomial1D":
+        """Return the derivative with respect to the *raw* key.
+
+        The chain rule contributes a factor ``1/scale``; the returned
+        polynomial keeps the same input scaling.
+        """
+        if self.degree == 0:
+            return Polynomial1D(np.zeros(1), self.shift, self.scale)
+        powers = np.arange(1, self.coeffs.size, dtype=np.float64)
+        deriv = self.coeffs[1:] * powers / self.scale
+        return Polynomial1D(deriv, self.shift, self.scale)
+
+    def extreme_on(self, low: float, high: float, maximize: bool = True) -> tuple[float, float]:
+        """Closed-form constrained extremum on ``[low, high]`` (Equation 17).
+
+        Candidate points are the interval endpoints plus the real roots of
+        the derivative that fall inside the interval; the best candidate and
+        its value are returned.
+
+        Returns
+        -------
+        (argbest, best):
+            The key achieving the extremum and the polynomial value there.
+        """
+        if high < low:
+            raise QueryError(f"invalid interval [{low}, {high}]")
+        candidates = [low, high]
+        deriv = self.derivative()
+        # Roots of the derivative in local coordinates.  Coefficients are
+        # normalized before the companion-matrix root solve and tiny leading
+        # terms are trimmed, which keeps the computation finite for extreme
+        # coefficient magnitudes.
+        dcoeffs = deriv.coeffs
+        magnitude = float(np.max(np.abs(dcoeffs))) if dcoeffs.size else 0.0
+        if magnitude > 0 and dcoeffs.size > 1:
+            normalized = dcoeffs / magnitude
+            significant = np.nonzero(np.abs(normalized) > 1e-14)[0]
+            if significant.size > 0:
+                trimmed = normalized[: significant[-1] + 1]
+                if trimmed.size > 1:
+                    with np.errstate(all="ignore"):
+                        roots = np.roots(trimmed[::-1])
+                    real_roots = roots[np.isfinite(roots) & (np.abs(roots.imag) < 1e-9)].real
+                    raw_roots = real_roots * self.scale + self.shift
+                    for root in raw_roots:
+                        if np.isfinite(root) and low <= root <= high:
+                            candidates.append(float(root))
+        values = np.array([self(c) for c in candidates])
+        best_index = int(np.argmax(values)) if maximize else int(np.argmin(values))
+        return candidates[best_index], float(values[best_index])
+
+    def to_dict(self) -> dict:
+        """Serialize to plain Python types (for JSON round-tripping)."""
+        return {
+            "coeffs": self.coeffs.tolist(),
+            "shift": float(self.shift),
+            "scale": float(self.scale),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Polynomial1D":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            coeffs=np.asarray(payload["coeffs"], dtype=np.float64),
+            shift=float(payload["shift"]),
+            scale=float(payload["scale"]),
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of stored float parameters (coefficients + scaling)."""
+        return self.coeffs.size + 2
+
+
+def _total_degree_terms(degree: int) -> list[tuple[int, int]]:
+    """Exponent pairs (i, j) with ``i + j <= degree``, in a fixed order."""
+    return [(i, j) for total in range(degree + 1) for i in range(total + 1) for j in [total - i]]
+
+
+@dataclass(frozen=True)
+class Polynomial2D:
+    """A bivariate polynomial of bounded total degree with input scaling.
+
+    The value at raw coordinates ``(u, v)`` is ``sum a_ij * s**i * t**j`` over
+    all exponent pairs with ``i + j <= degree``, where ``s`` and ``t`` are the
+    affinely scaled coordinates.
+
+    Attributes
+    ----------
+    coeffs:
+        Coefficients in the order produced by :func:`_total_degree_terms`.
+    degree:
+        Total degree bound.
+    shift_u, scale_u, shift_v, scale_v:
+        Per-axis affine input mapping.
+    """
+
+    coeffs: np.ndarray
+    degree: int
+    shift_u: float = 0.0
+    scale_u: float = 1.0
+    shift_v: float = 0.0
+    scale_v: float = 1.0
+
+    def __post_init__(self) -> None:
+        coeffs = np.atleast_1d(np.asarray(self.coeffs, dtype=np.float64))
+        expected = len(_total_degree_terms(self.degree))
+        if coeffs.size != expected:
+            raise FittingError(
+                f"expected {expected} coefficients for total degree {self.degree}, got {coeffs.size}"
+            )
+        if not np.all(np.isfinite(coeffs)):
+            raise FittingError("coefficients contain NaN or infinite values")
+        if self.scale_u <= 0 or self.scale_v <= 0:
+            raise FittingError("scales must be positive")
+        object.__setattr__(self, "coeffs", coeffs)
+        object.__setattr__(self, "_coeff_list", [float(c) for c in coeffs])
+        object.__setattr__(self, "_term_list", _total_degree_terms(self.degree))
+
+    @property
+    def terms(self) -> list[tuple[int, int]]:
+        """The exponent pairs, aligned with :attr:`coeffs`."""
+        return _total_degree_terms(self.degree)
+
+    def design_matrix(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vandermonde-style design matrix for scaled coordinates."""
+        s = (np.asarray(us, dtype=np.float64) - self.shift_u) / self.scale_u
+        t = (np.asarray(vs, dtype=np.float64) - self.shift_v) / self.scale_v
+        columns = [s**i * t**j for i, j in self.terms]
+        return np.column_stack(columns)
+
+    def __call__(self, u: np.ndarray | float, v: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate the surface at raw coordinates ``(u, v)``.
+
+        Scalar inputs take a pure-Python fast path (query-time corner
+        evaluations are single points); array inputs go through the design
+        matrix.
+        """
+        if isinstance(u, (int, float)) and isinstance(v, (int, float)):
+            s = (float(u) - self.shift_u) / self.scale_u
+            t = (float(v) - self.shift_v) / self.scale_v
+            total = 0.0
+            for coefficient, (i, j) in zip(self._coeff_list, self._term_list):
+                total += coefficient * (s**i) * (t**j)
+            return total
+        scalar = np.isscalar(u) and np.isscalar(v)
+        us = np.atleast_1d(np.asarray(u, dtype=np.float64))
+        vs = np.atleast_1d(np.asarray(v, dtype=np.float64))
+        values = self.design_matrix(us, vs) @ self.coeffs
+        if scalar:
+            return float(values[0])
+        return values
+
+    def to_dict(self) -> dict:
+        """Serialize to plain Python types."""
+        return {
+            "coeffs": self.coeffs.tolist(),
+            "degree": int(self.degree),
+            "shift_u": float(self.shift_u),
+            "scale_u": float(self.scale_u),
+            "shift_v": float(self.shift_v),
+            "scale_v": float(self.scale_v),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Polynomial2D":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            coeffs=np.asarray(payload["coeffs"], dtype=np.float64),
+            degree=int(payload["degree"]),
+            shift_u=float(payload["shift_u"]),
+            scale_u=float(payload["scale_u"]),
+            shift_v=float(payload["shift_v"]),
+            scale_v=float(payload["scale_v"]),
+        )
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of stored float parameters (coefficients + scaling)."""
+        return self.coeffs.size + 4

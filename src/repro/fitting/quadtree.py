@@ -1,0 +1,256 @@
+"""Quadtree segmentation for two-key cumulative surfaces (Section VI).
+
+For two keys the GS algorithm would cost at least ``O(n^2)``, so the paper
+partitions the key plane with a quadtree: start from the bounding rectangle,
+fit a bivariate polynomial surface to the cumulative-count samples inside the
+cell, and split the cell into four children whenever the minimax error
+exceeds the budget ``delta`` (Figure 13).  Splitting stops when every leaf
+satisfies the budget, the leaf contains too few samples to be worth fitting,
+or the maximum depth is reached (in which case the leaf stores its samples
+exactly so guarantees still hold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import QuadTreeConfig
+from ..errors import SegmentationError
+from .minimax import fit_minimax_surface
+from .polynomial import Polynomial2D
+
+__all__ = ["QuadCell", "build_quadtree_surface"]
+
+
+@dataclass
+class QuadCell:
+    """One quadtree cell.
+
+    A cell is either an internal node with four ``children`` or a leaf.  A
+    leaf stores either a fitted polynomial surface (with its achieved error)
+    or, when it has very few samples or splitting bottomed out, the raw
+    samples for exact evaluation.
+
+    Attributes
+    ----------
+    x_low, x_high, y_low, y_high:
+        The rectangle covered by the cell.
+    depth:
+        Depth in the quadtree (root is 0).
+    surface:
+        Fitted :class:`Polynomial2D`, or ``None`` for exact leaves and
+        internal nodes.
+    max_error:
+        Minimax error of the fitted surface over the cell's samples (0 for
+        exact leaves).
+    children:
+        Four child cells for internal nodes, empty for leaves.
+    exact_points:
+        ``(us, vs, cf_values)`` stored by exact leaves.
+    """
+
+    x_low: float
+    x_high: float
+    y_low: float
+    y_high: float
+    depth: int
+    surface: Polynomial2D | None = None
+    max_error: float = 0.0
+    children: list["QuadCell"] = field(default_factory=list)
+    exact_points: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the cell has no children."""
+        return not self.children
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the leaf answers from stored samples instead of a fit."""
+        return self.exact_points is not None
+
+    def contains(self, u: float, v: float) -> bool:
+        """Whether the point ``(u, v)`` lies inside the cell's rectangle."""
+        return self.x_low <= u <= self.x_high and self.y_low <= v <= self.y_high
+
+    def evaluate(self, u: float, v: float) -> float:
+        """Evaluate the cell's model of the cumulative function at ``(u, v)``.
+
+        Exact leaves answer with the nearest sampled cumulative value (the
+        samples form a dense grid inside the cell, so this is exact up to the
+        sampling resolution); fitted leaves evaluate their surface.
+        """
+        if self.is_exact:
+            us, vs, cf = self.exact_points
+            distances = (us - u) ** 2 + (vs - v) ** 2
+            return float(cf[int(np.argmin(distances))])
+        if self.surface is None:
+            raise SegmentationError("internal quadtree cell evaluated directly")
+        return float(self.surface(u, v))
+
+    def locate(self, u: float, v: float) -> "QuadCell":
+        """Descend to the leaf cell containing ``(u, v)``.
+
+        Children are laid out by :func:`_refine_cell` in quadrant order
+        (SW, SE, NW, NE), so the containing child can be picked with two
+        comparisons against the cell midpoint instead of scanning.
+        """
+        cell = self
+        while not cell.is_leaf:
+            if len(cell.children) == 4:
+                x_mid = (cell.x_low + cell.x_high) / 2.0
+                y_mid = (cell.y_low + cell.y_high) / 2.0
+                index = (1 if u > x_mid else 0) + (2 if v > y_mid else 0)
+                cell = cell.children[index]
+                continue
+            found = None
+            for child in cell.children:
+                if child.contains(u, v):
+                    found = child
+                    break
+            if found is None:
+                # Clamp to the nearest child (points exactly on shared edges).
+                found = min(
+                    cell.children,
+                    key=lambda c: max(c.x_low - u, u - c.x_high, 0.0)
+                    + max(c.y_low - v, v - c.y_high, 0.0),
+                )
+            cell = found
+        return cell
+
+    def leaves(self) -> list["QuadCell"]:
+        """All leaf cells below (and including) this cell."""
+        if self.is_leaf:
+            return [self]
+        result: list[QuadCell] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    @property
+    def num_parameters(self) -> int:
+        """Float parameters stored by this subtree (used for Figure 19-style size accounting)."""
+        own = 4  # rectangle bounds
+        if self.is_exact and self.exact_points is not None:
+            own += 3 * self.exact_points[0].size
+        elif self.surface is not None:
+            own += self.surface.num_parameters
+        return own + sum(child.num_parameters for child in self.children)
+
+
+def build_quadtree_surface(
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
+    config: QuadTreeConfig,
+) -> QuadCell:
+    """Build the quadtree of polynomial surfaces over a sampled CF grid.
+
+    Parameters
+    ----------
+    grid_x, grid_y:
+        Grid coordinates (ascending) at which the cumulative function was
+        sampled.
+    grid_cf:
+        ``grid_cf[i, j] = CF(grid_x[i], grid_y[j])``.
+    config:
+        Split budget, depth limit, degree and exact-leaf threshold.
+
+    Returns
+    -------
+    QuadCell
+        The root cell; every leaf either satisfies ``max_error <= delta`` or
+        stores its samples exactly.
+    """
+    grid_x = np.asarray(grid_x, dtype=np.float64)
+    grid_y = np.asarray(grid_y, dtype=np.float64)
+    grid_cf = np.asarray(grid_cf, dtype=np.float64)
+    if grid_x.ndim != 1 or grid_y.ndim != 1 or grid_cf.ndim != 2:
+        raise SegmentationError("grid_x/grid_y must be 1-D and grid_cf 2-D")
+    if grid_cf.shape != (grid_x.size, grid_y.size):
+        raise SegmentationError(
+            f"grid_cf shape {grid_cf.shape} does not match grid sizes "
+            f"({grid_x.size}, {grid_y.size})"
+        )
+    if grid_x.size < 2 or grid_y.size < 2:
+        raise SegmentationError("need at least a 2x2 sample grid")
+
+    root = QuadCell(
+        x_low=float(grid_x[0]),
+        x_high=float(grid_x[-1]),
+        y_low=float(grid_y[0]),
+        y_high=float(grid_y[-1]),
+        depth=0,
+    )
+    _refine_cell(root, grid_x, grid_y, grid_cf, config)
+    return root
+
+
+def _cell_samples(
+    cell: QuadCell, grid_x: np.ndarray, grid_y: np.ndarray, grid_cf: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flattened (u, v, cf) samples inside the cell's rectangle."""
+    x_mask = (grid_x >= cell.x_low) & (grid_x <= cell.x_high)
+    y_mask = (grid_y >= cell.y_low) & (grid_y <= cell.y_high)
+    xs = grid_x[x_mask]
+    ys = grid_y[y_mask]
+    sub = grid_cf[np.ix_(x_mask, y_mask)]
+    uu, vv = np.meshgrid(xs, ys, indexing="ij")
+    return uu.ravel(), vv.ravel(), sub.ravel()
+
+
+def _refine_cell(
+    cell: QuadCell,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
+    config: QuadTreeConfig,
+) -> None:
+    us, vs, cf = _cell_samples(cell, grid_x, grid_y, grid_cf)
+    if us.size == 0:
+        # Empty cells (no grid samples) become exact leaves with a single
+        # synthetic corner sample taken from the nearest grid point.
+        xi = int(np.clip(np.searchsorted(grid_x, cell.x_low), 0, grid_x.size - 1))
+        yi = int(np.clip(np.searchsorted(grid_y, cell.y_low), 0, grid_y.size - 1))
+        cell.exact_points = (
+            np.array([grid_x[xi]]),
+            np.array([grid_y[yi]]),
+            np.array([grid_cf[xi, yi]]),
+        )
+        return
+
+    if us.size <= config.min_cell_points:
+        cell.exact_points = (us, vs, cf)
+        return
+
+    fit = fit_minimax_surface(us, vs, cf, config.degree)
+    if fit.max_error <= config.delta or cell.depth >= config.max_depth:
+        if fit.max_error <= config.delta:
+            cell.surface = fit.polynomial
+            cell.max_error = fit.max_error
+        else:
+            # Depth budget exhausted without meeting the error budget: store
+            # samples exactly so the index can still certify guarantees.
+            cell.exact_points = (us, vs, cf)
+        return
+
+    x_mid = (cell.x_low + cell.x_high) / 2.0
+    y_mid = (cell.y_low + cell.y_high) / 2.0
+    quadrants = [
+        (cell.x_low, x_mid, cell.y_low, y_mid),
+        (x_mid, cell.x_high, cell.y_low, y_mid),
+        (cell.x_low, x_mid, y_mid, cell.y_high),
+        (x_mid, cell.x_high, y_mid, cell.y_high),
+    ]
+    for x_low, x_high, y_low, y_high in quadrants:
+        child = QuadCell(
+            x_low=x_low,
+            x_high=x_high,
+            y_low=y_low,
+            y_high=y_high,
+            depth=cell.depth + 1,
+        )
+        cell.children.append(child)
+        _refine_cell(child, grid_x, grid_y, grid_cf, config)

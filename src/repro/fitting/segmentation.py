@@ -1,0 +1,292 @@
+"""Segmentation of a 1-D target function into error-bounded intervals.
+
+Implements the paper's Greedy Segmentation (GS, Algorithm 1): grow an
+interval point by point until its optimal minimax fit exceeds the budget
+``delta``, emit the previous interval, and continue.  Because the minimax
+error is monotone in the point set (Lemma 1), GS produces the minimum number
+of segments (Theorem 1).
+
+Two refinements are provided on top of the plain algorithm:
+
+* **Exponential + binary search** over the segment end point (the paper's
+  remark referencing unbounded search): instead of refitting after every
+  single added point, the segment end is located with a doubling phase
+  followed by a bisection phase, reducing the number of LP solves per
+  segment from ``O(l)`` to ``O(log l)``.
+* **Dynamic-programming optimum** (``dp_segmentation``): the quadratic
+  reference algorithm; used in tests and the ablation bench to confirm that
+  GS matches the optimal segment count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SegmentationError
+from .minimax import MinimaxFit, fit_minimax_polynomial
+from .polynomial import Polynomial1D
+
+__all__ = ["Segment", "greedy_segmentation", "dp_segmentation", "segment_count"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One fitted interval of the piecewise model.
+
+    Attributes
+    ----------
+    key_low, key_high:
+        The key span covered by the segment (inclusive on both ends).
+    start, stop:
+        Index range ``[start, stop)`` of the fitted points in the sampled
+        target function.
+    polynomial:
+        The fitted :class:`Polynomial1D`.
+    max_error:
+        Achieved minimax error over the fitted points.
+    """
+
+    key_low: float
+    key_high: float
+    start: int
+    stop: int
+    polynomial: Polynomial1D
+    max_error: float
+
+    @property
+    def num_points(self) -> int:
+        """Number of fitted points."""
+        return self.stop - self.start
+
+    def covers(self, key: float) -> bool:
+        """Whether ``key`` falls inside the segment's key span."""
+        return self.key_low <= key <= self.key_high
+
+
+def _fit(keys: np.ndarray, values: np.ndarray, degree: int, solver: str) -> MinimaxFit:
+    return fit_minimax_polynomial(keys, values, degree, solver=solver)
+
+
+def _validate_inputs(keys: np.ndarray, values: np.ndarray, delta: float, degree: int) -> None:
+    if keys.ndim != 1 or values.ndim != 1:
+        raise SegmentationError("keys and values must be 1-D arrays")
+    if keys.size == 0:
+        raise SegmentationError("cannot segment an empty point set")
+    if keys.size != values.size:
+        raise SegmentationError("keys and values must have equal length")
+    if np.any(np.diff(keys) < 0):
+        raise SegmentationError("keys must be sorted ascending")
+    if delta < 0:
+        raise SegmentationError("delta must be non-negative")
+    if degree < 0:
+        raise SegmentationError("degree must be non-negative")
+
+
+def greedy_segmentation(
+    keys: np.ndarray,
+    values: np.ndarray,
+    delta: float,
+    degree: int,
+    *,
+    use_exponential_search: bool = True,
+    solver: str = "auto",
+) -> list[Segment]:
+    """Greedy Segmentation (GS, Algorithm 1) of the sampled function.
+
+    Parameters
+    ----------
+    keys, values:
+        Sampled target function, keys sorted ascending.
+    delta:
+        Bounded delta-error constraint per segment (Definition 3).
+    degree:
+        Degree of the per-segment polynomials.
+    use_exponential_search:
+        Locate segment ends with exponential + binary search instead of
+        one-point-at-a-time growth.  Produces the same segmentation because
+        the fitting error is monotone in the point set (Lemma 1).
+    solver:
+        Forwarded to :func:`fit_minimax_polynomial`.
+
+    Returns
+    -------
+    list[Segment]
+        Segments covering all points, each satisfying ``max_error <= delta``.
+
+    Notes
+    -----
+    GS is optimal: it produces the minimum possible number of segments
+    (Theorem 1 of the paper).
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    _validate_inputs(keys, values, delta, degree)
+
+    segments: list[Segment] = []
+    n = keys.size
+    start = 0
+    while start < n:
+        if use_exponential_search:
+            stop, fit = _find_longest_prefix_exponential(
+                keys, values, start, delta, degree, solver
+            )
+        else:
+            stop, fit = _find_longest_prefix_linear(keys, values, start, delta, degree, solver)
+        segments.append(
+            Segment(
+                key_low=float(keys[start]),
+                key_high=float(keys[stop - 1]),
+                start=start,
+                stop=stop,
+                polynomial=fit.polynomial,
+                max_error=fit.max_error,
+            )
+        )
+        start = stop
+    return segments
+
+
+def _find_longest_prefix_linear(
+    keys: np.ndarray,
+    values: np.ndarray,
+    start: int,
+    delta: float,
+    degree: int,
+    solver: str,
+) -> tuple[int, MinimaxFit]:
+    """Grow the segment one point at a time (the paper's Algorithm 1)."""
+    n = keys.size
+    best_stop = start + 1
+    best_fit = _fit(keys[start:best_stop], values[start:best_stop], degree, solver)
+    stop = best_stop
+    while stop < n:
+        candidate = stop + 1
+        fit = _fit(keys[start:candidate], values[start:candidate], degree, solver)
+        if fit.max_error > delta:
+            break
+        best_stop, best_fit = candidate, fit
+        stop = candidate
+    return best_stop, best_fit
+
+
+def _find_longest_prefix_exponential(
+    keys: np.ndarray,
+    values: np.ndarray,
+    start: int,
+    delta: float,
+    degree: int,
+    solver: str,
+) -> tuple[int, MinimaxFit]:
+    """Locate the longest feasible prefix with exponential + binary search.
+
+    Correctness relies on Lemma 1 (monotonicity of the minimax error in the
+    point set): the predicate "prefix of length L is feasible" is monotone in
+    ``L``, so doubling followed by bisection finds the same boundary as the
+    linear scan.
+    """
+    n = keys.size
+    # Any prefix of at most degree + 1 points has error 0 <= delta.
+    low = min(start + degree + 1, n)  # largest length known feasible (index, exclusive)
+    low_fit = _fit(keys[start:low], values[start:low], degree, solver)
+    if low_fit.max_error > delta:
+        # Degenerate budget (delta smaller than interpolation round-off):
+        # fall back to a single-point segment which always has zero error.
+        low = start + 1
+        low_fit = _fit(keys[start:low], values[start:low], degree, solver)
+    if low >= n:
+        return low, low_fit
+
+    # Doubling phase: find an infeasible stop (or reach the end).
+    step = max(low - start, 1)
+    high = low
+    high_infeasible = None
+    while True:
+        step *= 2
+        candidate = min(start + step, n)
+        if candidate <= high:
+            candidate = min(high + 1, n)
+        fit = _fit(keys[start:candidate], values[start:candidate], degree, solver)
+        if fit.max_error <= delta:
+            low, low_fit = candidate, fit
+            if candidate == n:
+                return low, low_fit
+        else:
+            high_infeasible = candidate
+            break
+
+    # Bisection phase on (low, high_infeasible).
+    lo, hi = low, high_infeasible
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        fit = _fit(keys[start:mid], values[start:mid], degree, solver)
+        if fit.max_error <= delta:
+            lo, low_fit = mid, fit
+        else:
+            hi = mid
+    return lo, low_fit
+
+
+def dp_segmentation(
+    keys: np.ndarray,
+    values: np.ndarray,
+    delta: float,
+    degree: int,
+    *,
+    solver: str = "auto",
+) -> list[Segment]:
+    """Optimal segmentation by dynamic programming (the paper's DP reference).
+
+    Runs in ``O(n^2)`` fits, so it is only practical for small inputs; it is
+    used by tests and the ablation benchmark to verify that GS achieves the
+    same (minimum) number of segments.
+    """
+    keys = np.asarray(keys, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    _validate_inputs(keys, values, delta, degree)
+
+    n = keys.size
+    # best[i] = minimum number of segments covering points [0, i)
+    best = np.full(n + 1, np.inf)
+    best[0] = 0.0
+    parent = np.full(n + 1, -1, dtype=int)
+    fits: dict[tuple[int, int], MinimaxFit] = {}
+
+    for stop in range(1, n + 1):
+        for start in range(stop - 1, -1, -1):
+            fit = _fit(keys[start:stop], values[start:stop], degree, solver)
+            if fit.max_error > delta:
+                # Lemma 1: extending further left only increases the error.
+                break
+            fits[(start, stop)] = fit
+            if best[start] + 1 < best[stop]:
+                best[stop] = best[start] + 1
+                parent[stop] = start
+
+    if not np.isfinite(best[n]):
+        raise SegmentationError("DP failed to cover the point set")
+
+    segments: list[Segment] = []
+    stop = n
+    while stop > 0:
+        start = int(parent[stop])
+        fit = fits[(start, stop)]
+        segments.append(
+            Segment(
+                key_low=float(keys[start]),
+                key_high=float(keys[stop - 1]),
+                start=start,
+                stop=stop,
+                polynomial=fit.polynomial,
+                max_error=fit.max_error,
+            )
+        )
+        stop = start
+    segments.reverse()
+    return segments
+
+
+def segment_count(segments: list[Segment]) -> int:
+    """Number of segments (``h`` in the paper's Figure 6)."""
+    return len(segments)

@@ -1,0 +1,28 @@
+"""Target-function construction.
+
+The paper approximates one of three target functions with piecewise
+polynomials:
+
+* ``CFsum(k)`` — the key-cumulative function used for SUM/COUNT queries
+  (Equation 4/7),
+* ``DFmax(k)`` / ``DFmin(k)`` — the key-measure step function used for
+  MAX/MIN queries (Equation 6/7),
+* ``CFcount(u, v)`` — the two-key cumulative count surface (Definition 5).
+
+This package turns raw (key, measure) arrays into those functions, exposed as
+sampled point sets ready for fitting plus exact evaluators used by tests and
+the exact-fallback path.
+"""
+
+from .cumulative import CumulativeFunction, build_cumulative_function
+from .key_measure import KeyMeasureFunction, build_key_measure_function
+from .cumulative2d import Cumulative2D, build_cumulative_2d
+
+__all__ = [
+    "CumulativeFunction",
+    "build_cumulative_function",
+    "KeyMeasureFunction",
+    "build_key_measure_function",
+    "Cumulative2D",
+    "build_cumulative_2d",
+]

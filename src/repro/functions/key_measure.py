@@ -1,0 +1,133 @@
+"""Key-measure step function ``DFmax`` / ``DFmin`` (Equation 6 of the paper).
+
+For MAX/MIN queries the target function is simply the measure as a (step)
+function of the key.  The PolyFit index fits piecewise polynomials to the
+sampled (key, measure) points; the exact baseline is an aggregate tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Aggregate
+from ..errors import DataError, QueryError
+
+__all__ = ["KeyMeasureFunction", "build_key_measure_function"]
+
+
+@dataclass(frozen=True)
+class KeyMeasureFunction:
+    """A sampled key-measure function.
+
+    Attributes
+    ----------
+    keys:
+        Sorted, strictly increasing keys.
+    measures:
+        Measure of the record at each key.
+    aggregate:
+        :attr:`Aggregate.MAX` or :attr:`Aggregate.MIN` — records which extreme
+        queries on this function will compute.
+    """
+
+    keys: np.ndarray
+    measures: np.ndarray
+    aggregate: Aggregate
+
+    def __post_init__(self) -> None:
+        if self.keys.shape != self.measures.shape:
+            raise DataError("keys and measures must have identical shapes")
+
+    @property
+    def size(self) -> int:
+        """Number of sampled points."""
+        return int(self.keys.size)
+
+    def evaluate(self, k: float) -> float:
+        """Step-function evaluation ``DF(k)`` (Equation 6).
+
+        Returns the measure of the last record whose key is ``<= k``, or 0
+        when ``k`` lies before the first key (the paper's "0 otherwise"
+        branch).
+        """
+        idx = int(np.searchsorted(self.keys, k, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return float(self.measures[idx])
+
+    def range_extreme(self, low: float, high: float) -> float:
+        """Exact range MAX/MIN over keys in ``[low, high]`` by scanning.
+
+        Used as the ground truth in tests; the fast exact method is the
+        aggregate tree in :mod:`repro.baselines.aggregate_tree`.
+        """
+        if high < low:
+            raise QueryError(f"invalid range [{low}, {high}]")
+        lo = int(np.searchsorted(self.keys, low, side="left"))
+        hi = int(np.searchsorted(self.keys, high, side="right"))
+        if hi <= lo:
+            return float("nan")
+        window = self.measures[lo:hi]
+        if self.aggregate is Aggregate.MAX:
+            return float(window.max())
+        return float(window.min())
+
+    def slice_points(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return the (keys, measures) points with indices in ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.size:
+            raise QueryError(f"bad slice [{start}, {stop}) for size {self.size}")
+        return self.keys[start:stop], self.measures[start:stop]
+
+
+def build_key_measure_function(
+    keys: np.ndarray,
+    measures: np.ndarray,
+    aggregate: Aggregate = Aggregate.MAX,
+    *,
+    presorted: bool = False,
+) -> KeyMeasureFunction:
+    """Build the key-measure function from a (key, measure) dataset.
+
+    Duplicate keys are collapsed to a single sample keeping the extreme
+    measure consistent with ``aggregate`` (max for MAX, min for MIN) so the
+    result is still a function of the key and range extremes are preserved.
+
+    Raises
+    ------
+    DataError
+        If arrays are malformed or contain non-finite values, or if the
+        aggregate is not MIN/MAX.
+    """
+    if aggregate not in (Aggregate.MAX, Aggregate.MIN):
+        raise DataError(f"key-measure function only supports MAX/MIN, got {aggregate}")
+    keys = np.asarray(keys, dtype=np.float64)
+    measures = np.asarray(measures, dtype=np.float64)
+    if keys.ndim != 1 or measures.ndim != 1:
+        raise DataError("keys and measures must be 1-D arrays")
+    if keys.size == 0:
+        raise DataError("dataset is empty")
+    if keys.size != measures.size:
+        raise DataError("keys and measures must have equal length")
+    if not (np.all(np.isfinite(keys)) and np.all(np.isfinite(measures))):
+        raise DataError("keys/measures contain NaN or infinite values")
+
+    if not presorted:
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        measures = measures[order]
+    elif np.any(np.diff(keys) < 0):
+        raise DataError("presorted=True but keys are not sorted ascending")
+
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    if unique_keys.size != keys.size:
+        if aggregate is Aggregate.MAX:
+            collapsed = np.full(unique_keys.size, -np.inf)
+            np.maximum.at(collapsed, inverse, measures)
+        else:
+            collapsed = np.full(unique_keys.size, np.inf)
+            np.minimum.at(collapsed, inverse, measures)
+        keys, measures = unique_keys, collapsed
+
+    return KeyMeasureFunction(keys=keys, measures=measures, aggregate=aggregate)

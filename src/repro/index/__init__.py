@@ -1,0 +1,37 @@
+"""PolyFit index structures — the paper's primary contribution.
+
+* :mod:`guarantees` — the delta-derivation and certification rules of
+  Lemmas 2-7 (how a requested absolute/relative error budget translates into
+  the per-segment fitting budget, and when a relative-error answer can be
+  certified without falling back to the exact method).
+* :mod:`polyfit1d` — :class:`PolyFitIndex`, the one-key index supporting
+  COUNT, SUM, MIN and MAX queries.
+* :mod:`polyfit2d` — :class:`PolyFit2DIndex`, the two-key COUNT/SUM index
+  built on quadtree-segmented polynomial surfaces.
+* :mod:`serialization` — JSON round-tripping of built indexes.
+"""
+
+from .guarantees import (
+    delta_for_absolute,
+    delta_for_relative,
+    certify_relative,
+    certified_absolute_bound,
+    CORNER_FACTORS,
+)
+from .polyfit1d import PolyFitIndex
+from .polyfit2d import PolyFit2DIndex
+from .serialization import index_to_dict, index_from_dict, save_index, load_index
+
+__all__ = [
+    "delta_for_absolute",
+    "delta_for_relative",
+    "certify_relative",
+    "certified_absolute_bound",
+    "CORNER_FACTORS",
+    "PolyFitIndex",
+    "PolyFit2DIndex",
+    "index_to_dict",
+    "index_from_dict",
+    "save_index",
+    "load_index",
+]

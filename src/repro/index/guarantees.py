@@ -1,0 +1,117 @@
+"""Error-guarantee arithmetic (Lemmas 2-7 of the paper).
+
+A PolyFit index is built so that every segment's polynomial deviates from the
+target function by at most ``delta``.  At query time the answer combines a
+small number of polynomial evaluations, so the answer's absolute error is at
+most ``c * delta`` where ``c`` is the number of evaluation "corners":
+
+* SUM/COUNT with one key — two corners (``P(uq) - P(lq)``), so ``c = 2``
+  (Lemma 2),
+* MAX/MIN with one key — one corner (the extreme of a single polynomial), so
+  ``c = 1`` (Lemma 4),
+* COUNT with two keys — four corners of the inclusion-exclusion, so ``c = 4``
+  (Lemma 6).
+
+The relative-error certificates (Lemmas 3, 5, 7) all have the same shape:
+the answer ``A`` is certified when ``A >= c * delta * (1 + 1/eps_rel)``.
+"""
+
+from __future__ import annotations
+
+from ..config import Aggregate
+from ..errors import QueryError
+
+__all__ = [
+    "CORNER_FACTORS",
+    "corner_factor",
+    "delta_for_absolute",
+    "delta_for_relative",
+    "certified_absolute_bound",
+    "certify_relative",
+]
+
+#: Number of polynomial evaluations combined per answer, keyed by
+#: (aggregate, number of keys).
+CORNER_FACTORS: dict[tuple[Aggregate, int], int] = {
+    (Aggregate.COUNT, 1): 2,
+    (Aggregate.SUM, 1): 2,
+    (Aggregate.MAX, 1): 1,
+    (Aggregate.MIN, 1): 1,
+    (Aggregate.COUNT, 2): 4,
+    (Aggregate.SUM, 2): 4,
+}
+
+
+def corner_factor(aggregate: Aggregate, num_keys: int = 1) -> int:
+    """The factor ``c`` relating per-segment error to answer error."""
+    try:
+        return CORNER_FACTORS[(aggregate, num_keys)]
+    except KeyError as exc:
+        raise QueryError(
+            f"unsupported aggregate/keys combination: {aggregate}, {num_keys} keys"
+        ) from exc
+
+
+def delta_for_absolute(eps_abs: float, aggregate: Aggregate, num_keys: int = 1) -> float:
+    """Per-segment budget achieving an absolute guarantee ``eps_abs``.
+
+    Lemma 2 (SUM/COUNT, 1 key): ``delta = eps_abs / 2``.
+    Lemma 4 (MAX/MIN, 1 key):   ``delta = eps_abs``.
+    Lemma 6 (COUNT, 2 keys):    ``delta = eps_abs / 4``.
+    """
+    if eps_abs <= 0:
+        raise QueryError(f"eps_abs must be positive, got {eps_abs}")
+    return eps_abs / corner_factor(aggregate, num_keys)
+
+
+def delta_for_relative(
+    eps_rel: float,
+    aggregate: Aggregate,
+    num_keys: int = 1,
+    *,
+    expected_magnitude: float,
+) -> float:
+    """Per-segment budget targeting a relative guarantee ``eps_rel``.
+
+    Unlike the absolute case, no single delta guarantees a relative error for
+    every query (small-result queries always defeat it); the paper fixes
+    delta heuristically (50 for one key, 250 for two keys) and falls back to
+    the exact method when the certificate fails.  This helper derives a delta
+    from a target result magnitude: answers of at least
+    ``expected_magnitude`` will be certified, because
+    ``expected_magnitude >= c * delta * (1 + 1/eps_rel)``.
+    """
+    if eps_rel <= 0:
+        raise QueryError(f"eps_rel must be positive, got {eps_rel}")
+    if expected_magnitude <= 0:
+        raise QueryError("expected_magnitude must be positive")
+    c = corner_factor(aggregate, num_keys)
+    return expected_magnitude / (c * (1.0 + 1.0 / eps_rel))
+
+
+def certified_absolute_bound(delta: float, aggregate: Aggregate, num_keys: int = 1) -> float:
+    """The absolute error bound ``c * delta`` certified for an answer."""
+    if delta < 0:
+        raise QueryError("delta must be non-negative")
+    return corner_factor(aggregate, num_keys) * delta
+
+
+def certify_relative(
+    approx_value: float,
+    delta: float,
+    eps_rel: float,
+    aggregate: Aggregate,
+    num_keys: int = 1,
+) -> bool:
+    """Relative-error certificate of Lemmas 3, 5 and 7.
+
+    The answer ``A`` satisfies the relative guarantee whenever
+    ``A >= c * delta * (1 + 1/eps_rel)``; otherwise the caller must fall back
+    to the exact method.
+    """
+    if eps_rel <= 0:
+        raise QueryError(f"eps_rel must be positive, got {eps_rel}")
+    if delta < 0:
+        raise QueryError("delta must be non-negative")
+    threshold = corner_factor(aggregate, num_keys) * delta * (1.0 + 1.0 / eps_rel)
+    return approx_value >= threshold

@@ -1,0 +1,159 @@
+"""JSON serialization of built PolyFit indexes.
+
+A built one-key index is fully described by its aggregate, delta, polynomial
+degree and the list of segments (key span + polynomial coefficients).  The
+exact-fallback structures are rebuilt from the stored target-function samples
+when needed, so serialization stores the segment payload plus the sampled
+target function.  This mirrors what a production deployment would persist:
+the compact learned payload plus the raw sorted data it summarizes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..config import Aggregate, FitConfig, IndexConfig, SegmentationConfig
+from ..errors import SerializationError
+from ..fitting.polynomial import Polynomial1D
+from ..fitting.segmentation import Segment
+from .polyfit1d import PolyFitIndex, _SegmentDirectory
+from ..baselines.exact import KeyCumulativeArray
+from ..baselines.aggregate_tree import AggregateSegmentTree
+from ..functions.cumulative import CumulativeFunction
+from ..functions.key_measure import KeyMeasureFunction
+
+__all__ = ["index_to_dict", "index_from_dict", "save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+
+def index_to_dict(index: PolyFitIndex) -> dict:
+    """Serialize a one-key PolyFit index to a JSON-compatible dictionary."""
+    segments_payload = [
+        {
+            "key_low": segment.key_low,
+            "key_high": segment.key_high,
+            "start": segment.start,
+            "stop": segment.stop,
+            "max_error": segment.max_error,
+            "polynomial": segment.polynomial.to_dict(),
+        }
+        for segment in index.segments
+    ]
+    if index.aggregate.is_cumulative:
+        function = index._cumulative  # noqa: SLF001 - serialization is a friend module
+        function_payload = {
+            "kind": "cumulative",
+            "keys": function.keys.tolist(),
+            "values": function.values.tolist(),
+        }
+    else:
+        function = index._key_measure  # noqa: SLF001
+        function_payload = {
+            "kind": "key_measure",
+            "keys": function.keys.tolist(),
+            "values": function.measures.tolist(),
+        }
+    return {
+        "format_version": _FORMAT_VERSION,
+        "aggregate": index.aggregate.value,
+        "delta": index.delta,
+        "degree": index.degree,
+        "fanout": index.config.fanout,
+        "segmentation_method": index.config.segmentation.method,
+        "segments": segments_payload,
+        "function": function_payload,
+    }
+
+
+def index_from_dict(payload: dict) -> PolyFitIndex:
+    """Rebuild a one-key PolyFit index from :func:`index_to_dict` output."""
+    try:
+        version = payload["format_version"]
+        if version != _FORMAT_VERSION:
+            raise SerializationError(f"unsupported format version {version}")
+        aggregate = Aggregate(payload["aggregate"])
+        delta = float(payload["delta"])
+        degree = int(payload["degree"])
+        fanout = int(payload["fanout"])
+        method = payload["segmentation_method"]
+        segments = [
+            Segment(
+                key_low=float(entry["key_low"]),
+                key_high=float(entry["key_high"]),
+                start=int(entry["start"]),
+                stop=int(entry["stop"]),
+                polynomial=Polynomial1D.from_dict(entry["polynomial"]),
+                max_error=float(entry["max_error"]),
+            )
+            for entry in payload["segments"]
+        ]
+        function_payload = payload["function"]
+        keys = np.asarray(function_payload["keys"], dtype=np.float64)
+        values = np.asarray(function_payload["values"], dtype=np.float64)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed index payload: {exc}") from exc
+
+    config = IndexConfig(
+        fit=FitConfig(degree=degree),
+        segmentation=SegmentationConfig(delta=delta, method=method),
+        fanout=fanout,
+    )
+    directory = _SegmentDirectory.from_segments(segments)
+
+    cumulative = None
+    key_measure = None
+    segment_tree = None
+    exact_fallback = None
+    if aggregate.is_cumulative:
+        cumulative = CumulativeFunction(keys=keys, values=values, aggregate=aggregate)
+        exact_fallback = KeyCumulativeArray.from_cumulative(cumulative)
+    else:
+        key_measure = KeyMeasureFunction(keys=keys, measures=values, aggregate=aggregate)
+        per_segment = np.array(
+            [
+                values[segment.start: segment.stop].max()
+                if aggregate is Aggregate.MAX
+                else values[segment.start: segment.stop].min()
+                for segment in segments
+            ]
+        )
+        segment_tree = AggregateSegmentTree(
+            keys=np.arange(len(segments), dtype=np.float64),
+            measures=per_segment,
+            aggregate=aggregate,
+        )
+
+    return PolyFitIndex(
+        aggregate=aggregate,
+        delta=delta,
+        segments=segments,
+        directory=directory,
+        cumulative=cumulative,
+        key_measure=key_measure,
+        segment_extreme_tree=segment_tree,
+        exact_fallback=exact_fallback,
+        config=config,
+    )
+
+
+def save_index(index: PolyFitIndex, path: str | Path) -> None:
+    """Serialize ``index`` to a JSON file."""
+    path = Path(path)
+    try:
+        path.write_text(json.dumps(index_to_dict(index)))
+    except OSError as exc:
+        raise SerializationError(f"cannot write index to {path}: {exc}") from exc
+
+
+def load_index(path: str | Path) -> PolyFitIndex:
+    """Load an index previously written by :func:`save_index`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read index from {path}: {exc}") from exc
+    return index_from_dict(payload)

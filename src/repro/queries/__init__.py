@@ -1,0 +1,21 @@
+"""Query types, workload generators and the evaluation engine."""
+
+from .types import RangeQuery, RangeQuery2D, QueryResult, Guarantee
+from .workloads import (
+    generate_range_queries,
+    generate_rectangle_queries,
+    WorkloadSpec,
+)
+from .engine import QueryEngine, evaluate_accuracy
+
+__all__ = [
+    "RangeQuery",
+    "RangeQuery2D",
+    "QueryResult",
+    "Guarantee",
+    "generate_range_queries",
+    "generate_rectangle_queries",
+    "WorkloadSpec",
+    "QueryEngine",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,141 @@
+"""Query evaluation engine and accuracy helpers.
+
+:class:`QueryEngine` wires together an approximate method and an exact oracle
+so experiments can run a workload once and collect both the approximate
+answers and their true errors.  :func:`evaluate_accuracy` summarizes the
+per-query errors (mean/median/max absolute and relative error, guarantee
+violation count), which is what the accuracy-oriented figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import QueryError
+from .types import Guarantee, QueryResult, RangeQuery, RangeQuery2D
+
+__all__ = ["QueryEngine", "AccuracyReport", "evaluate_accuracy"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregate error statistics over a workload.
+
+    Attributes
+    ----------
+    num_queries:
+        Number of evaluated queries.
+    mean_absolute_error, max_absolute_error:
+        Statistics of ``|approx - exact|``.
+    mean_relative_error, median_relative_error, max_relative_error:
+        Statistics of ``|approx - exact| / exact`` over queries with a
+        non-zero exact answer.
+    guarantee_violations:
+        Number of queries whose result violated the requested guarantee
+        (always 0 for correctly implemented guaranteed methods).
+    fallback_rate:
+        Fraction of queries answered by the exact fallback.
+    """
+
+    num_queries: int
+    mean_absolute_error: float
+    max_absolute_error: float
+    mean_relative_error: float
+    median_relative_error: float
+    max_relative_error: float
+    guarantee_violations: int
+    fallback_rate: float
+
+
+class QueryEngine:
+    """Pairs an approximate method with an exact oracle for experiments.
+
+    Parameters
+    ----------
+    approximate:
+        Callable mapping a query (and optional guarantee) to a
+        :class:`QueryResult` or a plain float.
+    exact:
+        Callable mapping a query to the exact answer.
+    name:
+        Label used in reports.
+    """
+
+    def __init__(
+        self,
+        approximate: Callable[..., QueryResult | float],
+        exact: Callable[[RangeQuery | RangeQuery2D], float],
+        name: str = "method",
+    ) -> None:
+        self._approximate = approximate
+        self._exact = exact
+        self.name = name
+
+    def run(
+        self,
+        queries: Sequence[RangeQuery | RangeQuery2D],
+        guarantee: Guarantee | None = None,
+    ) -> list[tuple[QueryResult, float]]:
+        """Evaluate all queries, returning (approximate result, exact answer) pairs."""
+        if not queries:
+            raise QueryError("empty workload")
+        results: list[tuple[QueryResult, float]] = []
+        for query in queries:
+            if guarantee is None:
+                raw = self._approximate(query)
+            else:
+                raw = self._approximate(query, guarantee)
+            if not isinstance(raw, QueryResult):
+                raw = QueryResult(value=float(raw), guaranteed=False)
+            results.append((raw, float(self._exact(query))))
+        return results
+
+    def accuracy(
+        self,
+        queries: Sequence[RangeQuery | RangeQuery2D],
+        guarantee: Guarantee | None = None,
+    ) -> AccuracyReport:
+        """Evaluate all queries and summarize the errors."""
+        return evaluate_accuracy(self.run(queries, guarantee), guarantee)
+
+
+def evaluate_accuracy(
+    pairs: Sequence[tuple[QueryResult, float]],
+    guarantee: Guarantee | None = None,
+) -> AccuracyReport:
+    """Summarize (result, exact) pairs into an :class:`AccuracyReport`."""
+    if not pairs:
+        raise QueryError("no results to evaluate")
+    absolute_errors = []
+    relative_errors = []
+    violations = 0
+    fallbacks = 0
+    for result, exact in pairs:
+        if np.isnan(result.value) and np.isnan(exact):
+            absolute_errors.append(0.0)
+            continue
+        error = abs(result.value - exact)
+        absolute_errors.append(error)
+        if exact != 0 and not np.isnan(exact):
+            relative_errors.append(error / abs(exact))
+        if result.exact_fallback:
+            fallbacks += 1
+        if guarantee is not None and result.guaranteed and not guarantee.satisfied_by(
+            result.value, exact
+        ):
+            violations += 1
+    absolute = np.asarray(absolute_errors, dtype=np.float64)
+    relative = np.asarray(relative_errors, dtype=np.float64) if relative_errors else np.zeros(1)
+    return AccuracyReport(
+        num_queries=len(pairs),
+        mean_absolute_error=float(absolute.mean()),
+        max_absolute_error=float(absolute.max()),
+        mean_relative_error=float(relative.mean()),
+        median_relative_error=float(np.median(relative)),
+        max_relative_error=float(relative.max()),
+        guarantee_violations=violations,
+        fallback_rate=fallbacks / len(pairs),
+    )

@@ -1,0 +1,117 @@
+"""Query and result value types.
+
+The paper's Definition 1 (one key) and Definition 4 (two keys) are modelled
+as small frozen dataclasses; the guarantee requested by a query (Problem 1 or
+Problem 2) is carried alongside so the engine can certify or fall back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import Aggregate, GuaranteeKind
+from ..errors import QueryError
+
+__all__ = ["Guarantee", "RangeQuery", "RangeQuery2D", "QueryResult"]
+
+
+@dataclass(frozen=True)
+class Guarantee:
+    """A requested approximation guarantee.
+
+    Attributes
+    ----------
+    kind:
+        :attr:`GuaranteeKind.ABSOLUTE` (Problem 1) or
+        :attr:`GuaranteeKind.RELATIVE` (Problem 2).
+    epsilon:
+        The error budget: ``eps_abs`` for absolute guarantees and ``eps_rel``
+        for relative guarantees.
+    """
+
+    kind: GuaranteeKind
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise QueryError(f"epsilon must be positive, got {self.epsilon}")
+
+    @classmethod
+    def absolute(cls, eps_abs: float) -> "Guarantee":
+        """Problem 1 guarantee: ``|A - R| <= eps_abs``."""
+        return cls(kind=GuaranteeKind.ABSOLUTE, epsilon=eps_abs)
+
+    @classmethod
+    def relative(cls, eps_rel: float) -> "Guarantee":
+        """Problem 2 guarantee: ``|A - R| / R <= eps_rel``."""
+        return cls(kind=GuaranteeKind.RELATIVE, epsilon=eps_rel)
+
+    def satisfied_by(self, approx: float, exact: float) -> bool:
+        """Check whether an (approx, exact) pair meets the guarantee."""
+        error = abs(approx - exact)
+        if self.kind is GuaranteeKind.ABSOLUTE:
+            return error <= self.epsilon + 1e-9
+        if exact == 0:
+            return error == 0
+        return error / abs(exact) <= self.epsilon + 1e-9
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A one-key range aggregate query ``R_G(D, [low, high])`` (Definition 1)."""
+
+    low: float
+    high: float
+    aggregate: Aggregate
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise QueryError(f"invalid query range [{self.low}, {self.high}]")
+
+    @property
+    def width(self) -> float:
+        """Width of the key range."""
+        return self.high - self.low
+
+
+@dataclass(frozen=True)
+class RangeQuery2D:
+    """A two-key rectangle aggregate query (Definition 4)."""
+
+    x_low: float
+    x_high: float
+    y_low: float
+    y_high: float
+    aggregate: Aggregate = Aggregate.COUNT
+
+    def __post_init__(self) -> None:
+        if self.x_high < self.x_low or self.y_high < self.y_low:
+            raise QueryError("invalid rectangle bounds")
+
+    @property
+    def area(self) -> float:
+        """Area of the query rectangle."""
+        return (self.x_high - self.x_low) * (self.y_high - self.y_low)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of an approximate range aggregate query.
+
+    Attributes
+    ----------
+    value:
+        The returned aggregate value (approximate unless ``exact_fallback``).
+    guaranteed:
+        Whether the requested guarantee is certified for this answer.
+    exact_fallback:
+        True when the engine had to fall back to the exact method because the
+        relative-error certificate (Lemma 3 / 5 / 7) failed.
+    error_bound:
+        The certified bound on ``|value - R|`` (absolute), when available.
+    """
+
+    value: float
+    guaranteed: bool = True
+    exact_fallback: bool = False
+    error_bound: float | None = None

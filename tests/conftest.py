@@ -1,0 +1,81 @@
+"""Shared pytest fixtures: small deterministic datasets and built indexes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, Guarantee, IndexConfig, PolyFitIndex, PolyFit2DIndex
+from repro.config import FitConfig, SegmentationConfig
+from repro.datasets import osm_points, stock_index_walk, tweet_latitudes
+
+
+@pytest.fixture(scope="session")
+def small_keys_measures() -> tuple[np.ndarray, np.ndarray]:
+    """A small sorted (key, measure) dataset with non-trivial structure."""
+    rng = np.random.default_rng(0)
+    keys = np.sort(rng.uniform(0.0, 1000.0, size=500))
+    keys += np.arange(keys.size) * 1e-9  # make strictly increasing
+    measures = 10.0 + 5.0 * np.sin(keys / 50.0) + rng.uniform(0.0, 2.0, size=keys.size)
+    return keys, measures
+
+
+@pytest.fixture(scope="session")
+def tweet_small() -> tuple[np.ndarray, np.ndarray]:
+    """Scaled-down synthetic TWEET dataset (1-D latitudes)."""
+    return tweet_latitudes(4000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def hki_small() -> tuple[np.ndarray, np.ndarray]:
+    """Scaled-down synthetic HKI dataset (timestamp, index value)."""
+    return stock_index_walk(4000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def osm_small() -> tuple[np.ndarray, np.ndarray]:
+    """Scaled-down synthetic OSM dataset (2-D points)."""
+    return osm_points(6000, seed=13)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> IndexConfig:
+    """Degree-2 index configuration used by most index tests."""
+    return IndexConfig(
+        fit=FitConfig(degree=2),
+        segmentation=SegmentationConfig(delta=50.0, method="greedy-exponential"),
+    )
+
+
+@pytest.fixture(scope="session")
+def count_index(tweet_small, fast_config) -> PolyFitIndex:
+    """A COUNT index over the small TWEET dataset with eps_abs = 100."""
+    keys, _ = tweet_small
+    return PolyFitIndex.build(
+        keys,
+        aggregate=Aggregate.COUNT,
+        guarantee=Guarantee.absolute(100.0),
+        config=fast_config,
+    )
+
+
+@pytest.fixture(scope="session")
+def max_index(hki_small, fast_config) -> PolyFitIndex:
+    """A MAX index over the small HKI dataset with eps_abs = 100."""
+    keys, measures = hki_small
+    return PolyFitIndex.build(
+        keys,
+        measures,
+        aggregate=Aggregate.MAX,
+        guarantee=Guarantee.absolute(100.0),
+        config=fast_config,
+    )
+
+
+@pytest.fixture(scope="session")
+def count2d_index(osm_small) -> PolyFit2DIndex:
+    """A two-key COUNT index over the small OSM dataset with eps_abs = 1000."""
+    xs, ys = osm_small
+    return PolyFit2DIndex.build(
+        xs, ys, guarantee=Guarantee.absolute(1000.0), grid_resolution=48
+    )

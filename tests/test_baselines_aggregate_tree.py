@@ -1,0 +1,167 @@
+"""Tests for the aggregate segment tree and aggregate R-tree baselines."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate
+from repro.baselines import AggregateRTree2D, AggregateSegmentTree, BruteForceAggregator
+from repro.errors import DataError, QueryError
+
+
+class TestAggregateSegmentTree:
+    @pytest.fixture()
+    def data(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.uniform(0, 100, size=500))
+        measures = rng.uniform(0, 1000, size=500)
+        return keys, measures
+
+    def test_max_matches_brute_force(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        brute = BruteForceAggregator(keys, measures)
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            low, high = np.sort(rng.choice(keys, size=2, replace=False))
+            assert tree.range_query(low, high) == pytest.approx(
+                brute.range_aggregate(low, high, Aggregate.MAX)
+            )
+
+    def test_min_matches_brute_force(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MIN)
+        brute = BruteForceAggregator(keys, measures)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            low, high = np.sort(rng.choice(keys, size=2, replace=False))
+            assert tree.range_query(low, high) == pytest.approx(
+                brute.range_aggregate(low, high, Aggregate.MIN)
+            )
+
+    def test_sum_matches_brute_force(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.SUM)
+        brute = BruteForceAggregator(keys, measures)
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            low, high = np.sort(rng.uniform(0, 100, size=2))
+            assert tree.range_query(low, high) == pytest.approx(
+                brute.range_aggregate(low, high, Aggregate.SUM)
+            )
+
+    def test_count_mode(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.COUNT)
+        assert tree.range_query(keys[0], keys[-1]) == keys.size
+
+    def test_empty_range_semantics(self, data):
+        keys, measures = data
+        max_tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        sum_tree = AggregateSegmentTree(keys, measures, Aggregate.SUM)
+        assert np.isnan(max_tree.range_query(200.0, 300.0))
+        assert sum_tree.range_query(200.0, 300.0) == 0.0
+
+    def test_unsorted_input_sorted_internally(self):
+        keys = np.array([5.0, 1.0, 3.0])
+        measures = np.array([50.0, 10.0, 30.0])
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        assert tree.range_query(1.0, 3.0) == 30.0
+
+    def test_range_extreme_by_index(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        assert tree.range_extreme(0, keys.size - 1) == pytest.approx(measures.max())
+        assert tree.range_extreme(5, 3) == -np.inf  # empty index range -> identity
+
+    def test_index_out_of_range(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        with pytest.raises(QueryError):
+            tree.range_extreme(0, keys.size)
+
+    def test_invalid_key_range(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        with pytest.raises(QueryError):
+            tree.range_query(10.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            AggregateSegmentTree(np.array([]), np.array([]))
+
+    def test_single_element(self):
+        tree = AggregateSegmentTree(np.array([5.0]), np.array([42.0]), Aggregate.MAX)
+        assert tree.range_query(0.0, 10.0) == 42.0
+
+    def test_size_in_bytes(self, data):
+        keys, measures = data
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        assert tree.size_in_bytes() > 0
+
+
+class TestAggregateRTree2D:
+    @pytest.fixture()
+    def points(self):
+        rng = np.random.default_rng(4)
+        xs = rng.uniform(-50, 50, size=3000)
+        ys = rng.uniform(-20, 20, size=3000)
+        return xs, ys
+
+    def test_count_matches_brute_force(self, points):
+        xs, ys = points
+        tree = AggregateRTree2D(xs, ys)
+        brute = BruteForceAggregator(xs, np.ones(xs.size), second_keys=ys)
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            x1, x2 = np.sort(rng.uniform(-50, 50, size=2))
+            y1, y2 = np.sort(rng.uniform(-20, 20, size=2))
+            assert tree.rectangle_aggregate(x1, x2, y1, y2) == pytest.approx(
+                brute.rectangle_aggregate(x1, x2, y1, y2)
+            )
+
+    def test_sum_mode(self, points):
+        xs, ys = points
+        measures = np.abs(xs) + 1.0
+        tree = AggregateRTree2D(xs, ys, measures, aggregate=Aggregate.SUM)
+        brute = BruteForceAggregator(xs, measures, second_keys=ys)
+        assert tree.rectangle_aggregate(-50, 50, -20, 20) == pytest.approx(
+            brute.rectangle_aggregate(-50, 50, -20, 20, Aggregate.SUM)
+        )
+
+    def test_whole_domain_count(self, points):
+        xs, ys = points
+        tree = AggregateRTree2D(xs, ys)
+        assert tree.rectangle_aggregate(xs.min(), xs.max(), ys.min(), ys.max()) == xs.size
+
+    def test_empty_rectangle(self, points):
+        xs, ys = points
+        tree = AggregateRTree2D(xs, ys)
+        assert tree.rectangle_aggregate(100.0, 200.0, 100.0, 200.0) == 0.0
+
+    def test_invalid_rectangle(self, points):
+        xs, ys = points
+        tree = AggregateRTree2D(xs, ys)
+        with pytest.raises(QueryError):
+            tree.rectangle_aggregate(1.0, 0.0, 0.0, 1.0)
+
+    def test_max_aggregate_rejected(self, points):
+        xs, ys = points
+        with pytest.raises(DataError):
+            AggregateRTree2D(xs, ys, aggregate=Aggregate.MAX)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            AggregateRTree2D(np.array([]), np.array([]))
+
+    def test_node_count_and_size(self, points):
+        xs, ys = points
+        tree = AggregateRTree2D(xs, ys, leaf_capacity=32, fanout=8)
+        assert tree.num_nodes > 1
+        assert tree.size_in_bytes() > 0
+
+    def test_bad_parameters(self, points):
+        xs, ys = points
+        with pytest.raises(DataError):
+            AggregateRTree2D(xs, ys, leaf_capacity=0)
+        with pytest.raises(DataError):
+            AggregateRTree2D(xs, ys, fanout=1)

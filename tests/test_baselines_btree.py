@@ -1,0 +1,135 @@
+"""Tests for the B+tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BPlusTree
+from repro.errors import DataError, QueryError
+
+
+class TestConstruction:
+    def test_bulk_load_from_sorted(self):
+        keys = np.arange(0.0, 1000.0)
+        tree = BPlusTree.from_sorted(keys, branching_factor=16)
+        assert tree.size == 1000
+        assert tree.height > 1
+
+    def test_bulk_load_rejects_unsorted(self):
+        with pytest.raises(DataError):
+            BPlusTree.from_sorted(np.array([2.0, 1.0]))
+
+    def test_bulk_load_rejects_empty(self):
+        with pytest.raises(DataError):
+            BPlusTree.from_sorted(np.array([]))
+
+    def test_bulk_load_rejects_mismatched_values(self):
+        with pytest.raises(DataError):
+            BPlusTree.from_sorted(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_small_branching_factor_rejected(self):
+        with pytest.raises(DataError):
+            BPlusTree(branching_factor=2)
+
+    def test_insert_grows_tree(self):
+        tree = BPlusTree(branching_factor=4)
+        for key in range(100):
+            tree.insert(float(key), float(key) * 2)
+        assert tree.size == 100
+        assert tree.height > 1
+
+
+class TestLookup:
+    @pytest.fixture()
+    def tree(self):
+        keys = np.arange(0.0, 500.0)
+        return BPlusTree.from_sorted(keys, keys * 10.0, branching_factor=8)
+
+    def test_get_existing(self, tree):
+        assert tree.get(42.0) == 420.0
+        assert 42.0 in tree
+
+    def test_get_missing(self, tree):
+        assert tree.get(1234.5) is None
+        assert tree.get(1234.5, default=-1.0) == -1.0
+        assert 1234.5 not in tree
+
+    def test_keys_sorted(self, tree):
+        keys = tree.keys()
+        assert keys == sorted(keys)
+        assert len(keys) == 500
+
+    def test_inserted_keys_retrievable(self):
+        tree = BPlusTree(branching_factor=4)
+        rng = np.random.default_rng(0)
+        values = rng.permutation(200).astype(float)
+        for key in values:
+            tree.insert(key, key + 0.5)
+        for key in values:
+            assert tree.get(key) == key + 0.5
+        assert tree.keys() == sorted(values.tolist())
+
+
+class TestRangeQueries:
+    @pytest.fixture()
+    def tree(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.uniform(0, 100, size=400))
+        values = rng.uniform(1, 10, size=400)
+        return BPlusTree.from_sorted(keys, values, branching_factor=16), keys, values
+
+    def test_items_in_range_matches_numpy(self, tree):
+        btree, keys, values = tree
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            low, high = np.sort(rng.uniform(0, 100, size=2))
+            expected_keys = keys[(keys >= low) & (keys <= high)]
+            got = [k for k, _ in btree.items_in_range(low, high)]
+            np.testing.assert_allclose(got, expected_keys)
+
+    def test_range_aggregates(self, tree):
+        btree, keys, values = tree
+        low, high = 20.0, 60.0
+        mask = (keys >= low) & (keys <= high)
+        assert btree.range_aggregate(low, high, "sum") == pytest.approx(values[mask].sum())
+        assert btree.range_aggregate(low, high, "count") == mask.sum()
+        assert btree.range_aggregate(low, high, "max") == pytest.approx(values[mask].max())
+        assert btree.range_aggregate(low, high, "min") == pytest.approx(values[mask].min())
+
+    def test_empty_range(self, tree):
+        btree, _, _ = tree
+        assert btree.range_aggregate(200.0, 300.0, "sum") == 0.0
+        assert np.isnan(btree.range_aggregate(200.0, 300.0, "max"))
+
+    def test_invalid_range(self, tree):
+        btree, _, _ = tree
+        with pytest.raises(QueryError):
+            list(btree.items_in_range(5.0, 1.0))
+
+    def test_unknown_aggregate(self, tree):
+        btree, _, _ = tree
+        with pytest.raises(QueryError):
+            btree.range_aggregate(0.0, 10.0, "median")
+
+    def test_size_in_bytes(self, tree):
+        btree, _, _ = tree
+        assert btree.size_in_bytes() > 0
+
+
+class TestMixedWorkload:
+    def test_behaves_like_sorted_dict(self):
+        """Insert + bulk semantics match a reference dict-of-lists model."""
+        rng = np.random.default_rng(3)
+        tree = BPlusTree(branching_factor=6)
+        reference: dict[float, float] = {}
+        for _ in range(500):
+            key = float(rng.integers(0, 200))
+            value = float(rng.uniform())
+            if key not in reference:
+                reference[key] = value
+                tree.insert(key, value)
+        for key, value in reference.items():
+            assert tree.get(key) == value
+        low, high = 50.0, 150.0
+        expected = sorted(k for k in reference if low <= k <= high)
+        got = [k for k, _ in tree.items_in_range(low, high)]
+        assert got == expected

@@ -1,0 +1,124 @@
+"""Tests for the FITing-tree baseline (shrinking-cone segmentation)."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, Guarantee, RangeQuery, generate_range_queries
+from repro.baselines import FITingTree
+from repro.baselines.fiting_tree import shrinking_cone_segmentation
+from repro.errors import DataError, NotSupportedError
+
+
+class TestShrinkingConeSegmentation:
+    def test_segments_within_budget(self):
+        rng = np.random.default_rng(0)
+        keys = np.sort(rng.uniform(0, 100, size=400))
+        values = np.cumsum(rng.uniform(0, 3, size=400))
+        budget = 5.0
+        segments = shrinking_cone_segmentation(keys, values, budget)
+        assert all(segment.max_error <= budget + 1e-9 for segment in segments)
+
+    def test_segments_cover_domain_in_order(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.uniform(0, 10, size=200))
+        values = np.cumsum(rng.uniform(0, 1, size=200))
+        segments = shrinking_cone_segmentation(keys, values, 2.0)
+        assert segments[0].key_low == keys[0]
+        assert segments[-1].key_high == keys[-1]
+        for previous, current in zip(segments, segments[1:]):
+            assert current.key_low > previous.key_low
+
+    def test_perfectly_linear_data_single_segment(self):
+        keys = np.linspace(0, 100, 500)
+        values = 2.0 * keys + 3.0
+        segments = shrinking_cone_segmentation(keys, values, 0.1)
+        assert len(segments) == 1
+
+    def test_smaller_budget_more_segments(self):
+        rng = np.random.default_rng(2)
+        keys = np.sort(rng.uniform(0, 50, size=300))
+        values = np.cumsum(rng.uniform(0, 2, size=300))
+        loose = shrinking_cone_segmentation(keys, values, 20.0)
+        tight = shrinking_cone_segmentation(keys, values, 1.0)
+        assert len(tight) >= len(loose)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(DataError):
+            shrinking_cone_segmentation(np.array([2.0, 1.0]), np.array([1.0, 2.0]), 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            shrinking_cone_segmentation(np.array([]), np.array([]), 1.0)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(DataError):
+            shrinking_cone_segmentation(np.array([1.0]), np.array([1.0]), -1.0)
+
+    def test_single_point(self):
+        segments = shrinking_cone_segmentation(np.array([1.0]), np.array([5.0]), 1.0)
+        assert len(segments) == 1
+        assert segments[0].predict(1.0) == 5.0
+
+
+class TestFITingTree:
+    def test_build_and_segment_count(self, tweet_small):
+        keys, _ = tweet_small
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=50.0)
+        assert tree.num_segments >= 1
+        assert tree.error_budget == 50.0
+
+    def test_count_absolute_guarantee(self, tweet_small):
+        keys, _ = tweet_small
+        eps = 100.0
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=eps / 2)
+        queries = generate_range_queries(keys, 60, Aggregate.COUNT, seed=1)
+        for query in queries:
+            result = tree.query(query, Guarantee.absolute(eps))
+            exact = tree.exact(query)
+            assert abs(result.value - exact) <= eps + 1e-6
+
+    def test_relative_guarantee_with_fallback(self, tweet_small):
+        keys, _ = tweet_small
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=50.0)
+        eps = 0.01
+        queries = generate_range_queries(keys, 60, Aggregate.COUNT, seed=2)
+        for query in queries:
+            result = tree.query(query, Guarantee.relative(eps))
+            exact = tree.exact(query)
+            if exact > 0:
+                assert abs(result.value - exact) / exact <= eps + 1e-9
+
+    def test_sum_aggregate(self, tweet_small):
+        keys, measures = tweet_small
+        tree = FITingTree.build(keys, measures, aggregate=Aggregate.SUM, error_budget=100.0)
+        query = RangeQuery(float(keys[50]), float(keys[-50]), Aggregate.SUM)
+        assert abs(tree.estimate(query) - tree.exact(query)) <= 2 * 100.0 + 1e-6
+
+    def test_more_segments_than_polyfit_with_same_budget(self, tweet_small, count_index):
+        """Linear segments cannot beat degree-2 polynomials on segment count."""
+        keys, _ = tweet_small
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT,
+                                error_budget=count_index.delta)
+        assert tree.num_segments >= count_index.num_segments
+
+    def test_rejects_max(self, tweet_small):
+        keys, measures = tweet_small
+        with pytest.raises(NotSupportedError):
+            FITingTree.build(keys, measures, aggregate=Aggregate.MAX)
+
+    def test_aggregate_mismatch(self, tweet_small):
+        keys, _ = tweet_small
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT)
+        with pytest.raises(NotSupportedError):
+            tree.estimate(RangeQuery(0.0, 1.0, Aggregate.SUM))
+
+    def test_size_in_bytes(self, tweet_small):
+        keys, _ = tweet_small
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=50.0)
+        assert tree.size_in_bytes() == 8 * 4 * tree.num_segments
+
+    def test_query_without_guarantee(self, tweet_small):
+        keys, _ = tweet_small
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=50.0)
+        result = tree.query(RangeQuery(float(keys[0]), float(keys[-1]), Aggregate.COUNT))
+        assert result.error_bound == pytest.approx(100.0)

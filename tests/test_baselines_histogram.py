@@ -1,0 +1,117 @@
+"""Tests for histogram estimators (equi-width and entropy-based)."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate
+from repro.baselines import EntropyHistogram, EquiWidthHistogram
+from repro.errors import DataError, NotSupportedError, QueryError
+
+
+class TestEquiWidthHistogram:
+    def test_total_mass_preserved(self):
+        rng = np.random.default_rng(0)
+        keys = rng.uniform(0, 100, size=5000)
+        hist = EquiWidthHistogram(keys, num_buckets=32)
+        assert hist.masses.sum() == pytest.approx(5000.0)
+
+    def test_full_domain_query(self):
+        rng = np.random.default_rng(1)
+        keys = rng.uniform(0, 10, size=1000)
+        hist = EquiWidthHistogram(keys, num_buckets=16)
+        assert hist.range_estimate(keys.min() - 1, keys.max() + 1) == pytest.approx(1000.0)
+
+    def test_uniform_data_accurate(self):
+        rng = np.random.default_rng(2)
+        keys = rng.uniform(0, 100, size=50_000)
+        hist = EquiWidthHistogram(keys, num_buckets=100)
+        exact = np.count_nonzero((keys >= 25) & (keys <= 75))
+        assert abs(hist.range_estimate(25.0, 75.0) - exact) / exact < 0.02
+
+    def test_sum_mode(self):
+        keys = np.array([1.0, 2.0, 3.0, 4.0])
+        measures = np.array([10.0, 20.0, 30.0, 40.0])
+        hist = EquiWidthHistogram(keys, measures, num_buckets=2, aggregate=Aggregate.SUM)
+        assert hist.masses.sum() == pytest.approx(100.0)
+
+    def test_single_bucket(self):
+        keys = np.linspace(0, 10, 100)
+        hist = EquiWidthHistogram(keys, num_buckets=1)
+        assert hist.num_buckets == 1
+
+    def test_degenerate_single_key(self):
+        hist = EquiWidthHistogram(np.full(10, 5.0), num_buckets=4)
+        assert hist.range_estimate(0.0, 10.0) == pytest.approx(10.0)
+
+    def test_invalid_range(self):
+        hist = EquiWidthHistogram(np.linspace(0, 1, 10), num_buckets=2)
+        with pytest.raises(QueryError):
+            hist.range_estimate(1.0, 0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataError):
+            EquiWidthHistogram(np.array([]), num_buckets=4)
+        with pytest.raises(DataError):
+            EquiWidthHistogram(np.array([1.0]), num_buckets=0)
+        with pytest.raises(NotSupportedError):
+            EquiWidthHistogram(np.array([1.0]), np.array([1.0]), aggregate=Aggregate.MAX)
+
+    def test_size_in_bytes(self):
+        hist = EquiWidthHistogram(np.linspace(0, 1, 100), num_buckets=8)
+        assert hist.size_in_bytes() > 0
+
+
+class TestEntropyHistogram:
+    def test_total_mass_preserved(self):
+        rng = np.random.default_rng(3)
+        keys = rng.normal(0, 5, size=8000)
+        hist = EntropyHistogram(keys, num_buckets=32)
+        assert hist.masses.sum() == pytest.approx(8000.0)
+
+    def test_buckets_balance_mass_on_skewed_data(self):
+        rng = np.random.default_rng(4)
+        keys = rng.exponential(1.0, size=20_000)
+        entropy_hist = EntropyHistogram(keys, num_buckets=32)
+        equi_hist = EquiWidthHistogram(keys, num_buckets=32)
+        # Entropy histogram should spread the mass far more evenly.
+        assert entropy_hist.masses.std() < equi_hist.masses.std()
+
+    def test_more_accurate_than_equiwidth_on_skewed_data(self):
+        rng = np.random.default_rng(5)
+        keys = np.concatenate([rng.normal(0, 0.5, size=20_000), rng.uniform(0, 100, size=2000)])
+        entropy_hist = EntropyHistogram(keys, num_buckets=24)
+        equi_hist = EquiWidthHistogram(keys, num_buckets=24)
+        exact = float(np.count_nonzero((keys >= -1.0) & (keys <= 1.0)))
+        entropy_error = abs(entropy_hist.range_estimate(-1.0, 1.0) - exact)
+        equi_error = abs(equi_hist.range_estimate(-1.0, 1.0) - exact)
+        assert entropy_error <= equi_error
+
+    def test_bucket_entropy_nonnegative(self):
+        rng = np.random.default_rng(6)
+        hist = EntropyHistogram(rng.uniform(0, 1, size=1000), num_buckets=16)
+        assert hist.bucket_entropy >= 0.0
+
+    def test_entropy_close_to_uniform_maximum(self):
+        rng = np.random.default_rng(7)
+        hist = EntropyHistogram(rng.exponential(1.0, size=30_000), num_buckets=32)
+        assert hist.bucket_entropy > 0.9 * np.log(hist.num_buckets)
+
+    def test_more_buckets_lower_error(self):
+        rng = np.random.default_rng(8)
+        keys = rng.normal(0, 10, size=30_000)
+        exact = float(np.count_nonzero((keys >= -5) & (keys <= 5)))
+        coarse = EntropyHistogram(keys, num_buckets=8)
+        fine = EntropyHistogram(keys, num_buckets=256)
+        assert abs(fine.range_estimate(-5, 5) - exact) <= abs(coarse.range_estimate(-5, 5) - exact)
+
+    def test_parameter_validation(self):
+        with pytest.raises(DataError):
+            EntropyHistogram(np.array([]), num_buckets=4)
+        with pytest.raises(NotSupportedError):
+            EntropyHistogram(np.array([1.0]), np.array([1.0]), aggregate=Aggregate.MIN)
+
+    def test_sum_mode(self):
+        keys = np.linspace(0, 10, 100)
+        measures = np.ones(100) * 2.0
+        hist = EntropyHistogram(keys, measures, num_buckets=8, aggregate=Aggregate.SUM)
+        assert hist.masses.sum() == pytest.approx(200.0)

@@ -1,0 +1,142 @@
+"""Tests for the RMI learned-index baseline."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, Guarantee, RangeQuery, generate_range_queries
+from repro.baselines import LinearModel, RecursiveModelIndex, TinyMLP
+from repro.errors import DataError, NotSupportedError
+
+
+class TestLinearModel:
+    def test_fits_exact_line(self):
+        xs = np.linspace(0, 10, 50)
+        ys = 3.0 * xs + 2.0
+        model = LinearModel().fit(xs, ys)
+        assert model.slope == pytest.approx(3.0)
+        assert model.intercept == pytest.approx(2.0)
+        assert model.predict(5.0) == pytest.approx(17.0)
+
+    def test_single_point_constant(self):
+        model = LinearModel().fit(np.array([1.0]), np.array([7.0]))
+        assert model.predict(100.0) == pytest.approx(7.0)
+
+    def test_degenerate_keys_constant(self):
+        model = LinearModel().fit(np.array([2.0, 2.0]), np.array([4.0, 6.0]))
+        assert model.predict(2.0) == pytest.approx(5.0)
+
+    def test_empty_fit_is_zero(self):
+        model = LinearModel().fit(np.array([]), np.array([]))
+        assert model.predict(3.0) == 0.0
+
+    def test_num_parameters(self):
+        assert LinearModel().num_parameters == 2
+
+
+class TestTinyMLP:
+    def test_architecture_string(self):
+        assert TinyMLP(hidden_layers=(8,)).architecture == "1:8:1"
+        assert TinyMLP(hidden_layers=(4, 4)).architecture == "1:4:4:1"
+
+    def test_fits_smooth_function(self):
+        xs = np.linspace(0, 1, 200)
+        ys = np.sin(2 * np.pi * xs)
+        mlp = TinyMLP(hidden_layers=(16,), epochs=800, learning_rate=0.05, seed=1).fit(xs, ys)
+        predictions = mlp.predict(xs)
+        rmse = np.sqrt(np.mean((predictions - ys) ** 2))
+        assert rmse < 0.3
+
+    def test_scalar_prediction(self):
+        mlp = TinyMLP(hidden_layers=(4,), epochs=50).fit(np.linspace(0, 1, 50), np.linspace(0, 1, 50))
+        assert isinstance(mlp.predict(0.5), float)
+
+    def test_num_parameters(self):
+        mlp = TinyMLP(hidden_layers=(8,), epochs=1).fit(np.linspace(0, 1, 10), np.zeros(10))
+        # 1x8 + 8 biases + 8x1 + 1 bias = 25
+        assert mlp.num_parameters == 25
+
+    def test_rejects_bad_architecture(self):
+        with pytest.raises(DataError):
+            TinyMLP(hidden_layers=(0,))
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(DataError):
+            TinyMLP().fit(np.array([]), np.array([]))
+
+
+class TestRecursiveModelIndex:
+    def test_build_and_max_error(self, tweet_small):
+        keys, _ = tweet_small
+        rmi = RecursiveModelIndex.build(keys, aggregate=Aggregate.COUNT,
+                                        stage_sizes=(1, 10, 50))
+        assert rmi.max_error >= 0.0
+        assert rmi.stage_sizes == (1, 10, 50)
+
+    def test_more_leaf_models_not_worse(self, tweet_small):
+        keys, _ = tweet_small
+        small = RecursiveModelIndex.build(keys, stage_sizes=(1, 4))
+        large = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+        assert large.max_error <= small.max_error * 1.5 + 1e-9
+
+    def test_estimate_accuracy_within_max_error_bound(self, tweet_small):
+        keys, _ = tweet_small
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+        queries = generate_range_queries(keys, 50, Aggregate.COUNT, seed=1)
+        for query in queries:
+            exact = rmi.exact(query)
+            approx = rmi.estimate(query)
+            assert abs(approx - exact) <= 2 * rmi.max_error + 1e-6
+
+    def test_query_absolute_guarantee_with_fallback(self, tweet_small):
+        keys, _ = tweet_small
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+        queries = generate_range_queries(keys, 40, Aggregate.COUNT, seed=2)
+        eps = 100.0
+        for query in queries:
+            result = rmi.query(query, Guarantee.absolute(eps))
+            exact = rmi.exact(query)
+            assert abs(result.value - exact) <= eps + 1e-6
+
+    def test_query_relative_guarantee_with_fallback(self, tweet_small):
+        keys, _ = tweet_small
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+        queries = generate_range_queries(keys, 40, Aggregate.COUNT, seed=3)
+        eps = 0.01
+        for query in queries:
+            result = rmi.query(query, Guarantee.relative(eps))
+            exact = rmi.exact(query)
+            if exact > 0:
+                assert abs(result.value - exact) / exact <= eps + 1e-9
+
+    def test_rejects_max_aggregate(self, tweet_small):
+        keys, measures = tweet_small
+        with pytest.raises(NotSupportedError):
+            RecursiveModelIndex.build(keys, measures, aggregate=Aggregate.MAX)
+
+    def test_rejects_bad_stage_sizes(self):
+        with pytest.raises(DataError):
+            RecursiveModelIndex(stage_sizes=(2, 10))
+        with pytest.raises(DataError):
+            RecursiveModelIndex(stage_sizes=())
+
+    def test_size_in_bytes(self, tweet_small):
+        keys, _ = tweet_small
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+        assert rmi.size_in_bytes() > 0
+
+    def test_sum_aggregate(self, tweet_small):
+        keys, measures = tweet_small
+        rmi = RecursiveModelIndex.build(keys, measures, aggregate=Aggregate.SUM,
+                                        stage_sizes=(1, 10, 50))
+        query = RangeQuery(float(keys[100]), float(keys[-100]), Aggregate.SUM)
+        exact = rmi.exact(query)
+        assert abs(rmi.estimate(query) - exact) <= 2 * rmi.max_error + 1e-6
+
+    def test_mlp_model_factory(self, tweet_small):
+        keys, _ = tweet_small
+        rmi = RecursiveModelIndex.build(
+            keys[:1000],
+            stage_sizes=(1, 4),
+            model_factory=lambda: TinyMLP(hidden_layers=(4,), epochs=60),
+        )
+        assert rmi.max_error >= 0.0

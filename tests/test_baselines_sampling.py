@@ -1,0 +1,120 @@
+"""Tests for sampling-based estimators (S2 and S-tree)."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate
+from repro.baselines import SampledBTree, SequentialSampler
+from repro.errors import DataError, NotSupportedError, QueryError
+
+
+class TestSequentialSampler:
+    @pytest.fixture()
+    def keys(self):
+        rng = np.random.default_rng(0)
+        return rng.uniform(0, 100, size=20_000)
+
+    def test_estimate_close_for_large_ranges(self, keys):
+        sampler = SequentialSampler(keys, relative_error=0.05, confidence=0.9, seed=1)
+        exact = float(np.count_nonzero((keys >= 10) & (keys <= 90)))
+        estimate = sampler.range_estimate(10.0, 90.0)
+        assert abs(estimate - exact) / exact < 0.15
+
+    def test_sum_estimate(self, keys):
+        measures = np.ones_like(keys) * 2.0
+        sampler = SequentialSampler(keys, measures, relative_error=0.05, seed=2)
+        exact = 2.0 * np.count_nonzero((keys >= 20) & (keys <= 80))
+        estimate = sampler.range_estimate(20.0, 80.0, Aggregate.SUM)
+        assert abs(estimate - exact) / exact < 0.15
+
+    def test_two_key_estimate(self):
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0, 10, size=20_000)
+        ys = rng.uniform(0, 10, size=20_000)
+        sampler = SequentialSampler(xs, second_keys=ys, relative_error=0.05, seed=4)
+        exact = np.count_nonzero((xs >= 2) & (xs <= 8) & (ys >= 2) & (ys <= 8))
+        estimate = sampler.rectangle_estimate(2.0, 8.0, 2.0, 8.0)
+        assert abs(estimate - exact) / exact < 0.2
+
+    def test_two_key_requires_second_keys(self, keys):
+        sampler = SequentialSampler(keys)
+        with pytest.raises(NotSupportedError):
+            sampler.rectangle_estimate(0.0, 1.0, 0.0, 1.0)
+
+    def test_max_not_supported(self, keys):
+        sampler = SequentialSampler(keys)
+        with pytest.raises(NotSupportedError):
+            sampler.range_estimate(0.0, 1.0, Aggregate.MAX)
+
+    def test_sample_count_grows_for_selective_queries(self, keys):
+        sampler = SequentialSampler(keys, relative_error=0.1, seed=5, max_fraction=0.5)
+        broad = sampler.sampled_records_for(0.0, 100.0)
+        narrow = sampler.sampled_records_for(49.0, 50.0)
+        assert narrow >= broad
+
+    def test_invalid_range(self, keys):
+        sampler = SequentialSampler(keys)
+        with pytest.raises(QueryError):
+            sampler.range_estimate(5.0, 1.0)
+
+    def test_parameter_validation(self, keys):
+        with pytest.raises(DataError):
+            SequentialSampler(keys, relative_error=0.0)
+        with pytest.raises(DataError):
+            SequentialSampler(keys, confidence=1.5)
+        with pytest.raises(DataError):
+            SequentialSampler(keys, batch_size=0)
+        with pytest.raises(DataError):
+            SequentialSampler(keys, max_fraction=0.0)
+        with pytest.raises(DataError):
+            SequentialSampler(np.array([]))
+
+
+class TestSampledBTree:
+    @pytest.fixture()
+    def keys(self):
+        rng = np.random.default_rng(6)
+        return rng.uniform(0, 1000, size=50_000)
+
+    def test_estimate_close_for_large_ranges(self, keys):
+        stree = SampledBTree(keys, sample_fraction=0.05, seed=7)
+        exact = float(np.count_nonzero((keys >= 100) & (keys <= 900)))
+        estimate = stree.range_estimate(100.0, 900.0)
+        assert abs(estimate - exact) / exact < 0.1
+
+    def test_scale_factor(self, keys):
+        stree = SampledBTree(keys, sample_fraction=0.1, seed=8)
+        assert stree.scale == pytest.approx(10.0, rel=0.01)
+        assert stree.sample_fraction == 0.1
+
+    def test_full_sample_is_exact(self):
+        rng = np.random.default_rng(9)
+        keys = rng.uniform(0, 10, size=500)
+        stree = SampledBTree(keys, sample_fraction=1.0, seed=10)
+        exact = float(np.count_nonzero((keys >= 2) & (keys <= 8)))
+        assert stree.range_estimate(2.0, 8.0) == pytest.approx(exact)
+
+    def test_sum_estimate(self, keys):
+        measures = np.full_like(keys, 3.0)
+        stree = SampledBTree(keys, measures, sample_fraction=0.05, seed=11)
+        exact = 3.0 * np.count_nonzero((keys >= 100) & (keys <= 900))
+        estimate = stree.range_estimate(100.0, 900.0, Aggregate.SUM)
+        assert abs(estimate - exact) / exact < 0.15
+
+    def test_max_not_supported(self, keys):
+        stree = SampledBTree(keys, sample_fraction=0.01)
+        with pytest.raises(NotSupportedError):
+            stree.range_estimate(0.0, 1.0, Aggregate.MAX)
+
+    def test_parameter_validation(self, keys):
+        with pytest.raises(DataError):
+            SampledBTree(keys, sample_fraction=0.0)
+        with pytest.raises(DataError):
+            SampledBTree(np.array([]))
+        with pytest.raises(DataError):
+            SampledBTree(keys, np.array([1.0]))
+
+    def test_size_smaller_than_full_tree(self, keys):
+        small = SampledBTree(keys, sample_fraction=0.01, seed=12)
+        large = SampledBTree(keys, sample_fraction=0.2, seed=12)
+        assert small.size_in_bytes() < large.size_in_bytes()

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def ticks_csv(tmp_path):
+    rng = np.random.default_rng(0)
+    keys = np.sort(rng.uniform(0, 1000, size=2000))
+    measures = 100.0 + rng.uniform(0, 50, size=2000)
+    path = tmp_path / "ticks.csv"
+    lines = ["key,measure"] + [f"{k:.6f},{m:.6f}" for k, m in zip(keys, measures)]
+    path.write_text("\n".join(lines))
+    return path, keys, measures
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_build_requires_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "in.csv", "out.json"])
+
+    def test_build_budget_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "in.csv", "out.json", "--eps-abs", "10", "--delta", "5"]
+            )
+
+    def test_query_parses(self):
+        args = build_parser().parse_args(["query", "idx.json", "1.0", "2.0", "--eps-rel", "0.01"])
+        assert args.low == 1.0 and args.eps_rel == 0.01
+
+
+class TestBuildQueryRoundTrip:
+    def test_count_build_query_info(self, ticks_csv, tmp_path, capsys):
+        csv_path, keys, _ = ticks_csv
+        index_path = tmp_path / "count.json"
+        assert main(["build", str(csv_path), str(index_path),
+                     "--aggregate", "count", "--eps-abs", "50"]) == 0
+        assert index_path.exists()
+        capsys.readouterr()  # discard the build banner
+
+        assert main(["query", str(index_path), "100", "900", "--eps-abs", "50"]) == 0
+        output = capsys.readouterr().out
+        reported = float(output.split("=")[1].split("(")[0])
+        exact = float(np.count_nonzero((keys >= 100) & (keys <= 900)))
+        assert abs(reported - exact) <= 50 + 1e-6
+
+        assert main(["info", str(index_path)]) == 0
+        info_output = capsys.readouterr().out
+        assert "segments" in info_output
+
+    def test_max_build_and_query(self, ticks_csv, tmp_path, capsys):
+        csv_path, keys, measures = ticks_csv
+        index_path = tmp_path / "max.json"
+        assert main(["build", str(csv_path), str(index_path),
+                     "--aggregate", "max", "--eps-abs", "10"]) == 0
+        capsys.readouterr()  # discard the build banner
+        assert main(["query", str(index_path), "200", "800"]) == 0
+        output = capsys.readouterr().out
+        reported = float(output.split("=")[1].split("(")[0])
+        mask = (keys >= 200) & (keys <= 800)
+        assert abs(reported - measures[mask].max()) <= 10 + 1e-6
+
+    def test_build_with_delta(self, ticks_csv, tmp_path):
+        csv_path, _, _ = ticks_csv
+        index_path = tmp_path / "delta.json"
+        assert main(["build", str(csv_path), str(index_path),
+                     "--aggregate", "count", "--delta", "25"]) == 0
+
+    def test_missing_input_returns_error_code(self, tmp_path):
+        assert main(["build", str(tmp_path / "missing.csv"), str(tmp_path / "o.json"),
+                     "--eps-abs", "50"]) == 2
+
+    def test_query_missing_index_returns_error_code(self, tmp_path):
+        assert main(["query", str(tmp_path / "missing.json"), "0", "1"]) == 2

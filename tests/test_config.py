@@ -1,0 +1,110 @@
+"""Tests for configuration dataclasses and enums."""
+
+import pytest
+
+from repro.config import (
+    Aggregate,
+    DEFAULT_DEGREE,
+    FitConfig,
+    GuaranteeKind,
+    IndexConfig,
+    QuadTreeConfig,
+    SegmentationConfig,
+)
+from repro.errors import QueryError
+
+
+class TestAggregate:
+    def test_cumulative_flags(self):
+        assert Aggregate.COUNT.is_cumulative
+        assert Aggregate.SUM.is_cumulative
+        assert not Aggregate.MAX.is_cumulative
+        assert not Aggregate.MIN.is_cumulative
+
+    def test_extremum_flags(self):
+        assert Aggregate.MAX.is_extremum
+        assert Aggregate.MIN.is_extremum
+        assert not Aggregate.COUNT.is_extremum
+        assert not Aggregate.SUM.is_extremum
+
+    def test_string_values(self):
+        assert Aggregate("count") is Aggregate.COUNT
+        assert Aggregate("max") is Aggregate.MAX
+
+    def test_guarantee_kinds(self):
+        assert GuaranteeKind("absolute") is GuaranteeKind.ABSOLUTE
+        assert GuaranteeKind("relative") is GuaranteeKind.RELATIVE
+
+
+class TestFitConfig:
+    def test_defaults(self):
+        config = FitConfig()
+        assert config.degree == DEFAULT_DEGREE
+        assert config.solver == "auto"
+        assert config.rescale is True
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(QueryError):
+            FitConfig(degree=-1)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(QueryError):
+            FitConfig(solver="simplex")
+
+    def test_frozen(self):
+        config = FitConfig()
+        with pytest.raises(AttributeError):
+            config.degree = 5  # type: ignore[misc]
+
+
+class TestSegmentationConfig:
+    def test_defaults(self):
+        config = SegmentationConfig()
+        assert config.method == "greedy-exponential"
+        assert config.delta > 0
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(QueryError):
+            SegmentationConfig(delta=-1.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(QueryError):
+            SegmentationConfig(method="magic")
+
+    def test_zero_delta_allowed(self):
+        assert SegmentationConfig(delta=0.0).delta == 0.0
+
+    def test_min_segment_points_validation(self):
+        with pytest.raises(QueryError):
+            SegmentationConfig(min_segment_points=0)
+
+
+class TestIndexConfig:
+    def test_defaults_compose(self):
+        config = IndexConfig()
+        assert config.fit.degree == DEFAULT_DEGREE
+        assert config.fanout >= 2
+
+    def test_small_fanout_rejected(self):
+        with pytest.raises(QueryError):
+            IndexConfig(fanout=1)
+
+
+class TestQuadTreeConfig:
+    def test_defaults(self):
+        config = QuadTreeConfig()
+        assert config.max_depth >= 1
+        assert config.delta > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delta": -1.0},
+            {"max_depth": 0},
+            {"min_cell_points": 0},
+            {"degree": -1},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(QueryError):
+            QuadTreeConfig(**kwargs)

@@ -1,0 +1,84 @@
+"""Tests for CSV dataset loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_keyed_csv, load_xy_csv
+from repro.errors import DataError
+
+
+@pytest.fixture()
+def keyed_csv(tmp_path):
+    path = tmp_path / "keyed.csv"
+    path.write_text("key,measure\n3.0,30\n1.0,10\n2.0,20\n")
+    return path
+
+
+@pytest.fixture()
+def xy_csv(tmp_path):
+    path = tmp_path / "points.csv"
+    path.write_text("x,y\n1.5,2.5\n-3.0,4.0\n")
+    return path
+
+
+class TestLoadKeyedCsv:
+    def test_loads_and_sorts(self, keyed_csv):
+        keys, measures = load_keyed_csv(keyed_csv)
+        np.testing.assert_array_equal(keys, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(measures, [10.0, 20.0, 30.0])
+
+    def test_no_sort_preserves_file_order(self, keyed_csv):
+        keys, _ = load_keyed_csv(keyed_csv, sort=False)
+        np.testing.assert_array_equal(keys, [3.0, 1.0, 2.0])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_keyed_csv(tmp_path / "nope.csv")
+
+    def test_bad_row_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("key,measure\n1.0,oops\n")
+        with pytest.raises(DataError):
+            load_keyed_csv(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("key,measure\n")
+        with pytest.raises(DataError):
+            load_keyed_csv(path)
+
+    def test_no_header_and_custom_columns(self, tmp_path):
+        path = tmp_path / "noheader.csv"
+        path.write_text("9;1.0;100\n8;2.0;200\n")
+        keys, measures = load_keyed_csv(
+            path, key_column=1, measure_column=2, has_header=False, delimiter=";"
+        )
+        np.testing.assert_array_equal(keys, [1.0, 2.0])
+        np.testing.assert_array_equal(measures, [100.0, 200.0])
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("key,measure\n1,1\n\n2,2\n")
+        keys, _ = load_keyed_csv(path)
+        assert keys.size == 2
+
+
+class TestLoadXyCsv:
+    def test_loads_points(self, xy_csv):
+        xs, ys = load_xy_csv(xy_csv)
+        np.testing.assert_array_equal(xs, [1.5, -3.0])
+        np.testing.assert_array_equal(ys, [2.5, 4.0])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_xy_csv(tmp_path / "missing.csv")
+
+    def test_bad_column_index(self, xy_csv):
+        with pytest.raises(DataError):
+            load_xy_csv(xy_csv, y_column=7)
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("x,y\n")
+        with pytest.raises(DataError):
+            load_xy_csv(path)

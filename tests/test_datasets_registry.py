@@ -1,0 +1,50 @@
+"""Tests for the named dataset registry."""
+
+import pytest
+
+from repro.datasets import get_dataset, list_datasets
+from repro.errors import DataError
+
+
+class TestRegistry:
+    def test_lists_the_paper_datasets(self):
+        names = list_datasets()
+        assert {"hki", "tweet", "osm"} <= set(names)
+
+    def test_get_by_explicit_size(self):
+        spec, (keys, measures) = get_dataset("tweet", n=2000, seed=1)
+        assert spec.name == "tweet"
+        assert spec.dimensions == 1
+        assert keys.size == 2000
+        assert measures.size == 2000
+
+    def test_get_by_scale(self):
+        spec, (keys, _) = get_dataset("hki", scale=0.005, seed=2)
+        assert keys.size == max(1000, int(spec.full_size * 0.005))
+
+    def test_case_insensitive(self):
+        spec, _ = get_dataset("TWEET", n=1500)
+        assert spec.name == "tweet"
+
+    def test_two_dimensional_dataset(self):
+        spec, (xs, ys) = get_dataset("osm", n=3000, seed=3)
+        assert spec.dimensions == 2
+        assert xs.size == ys.size == 3000
+
+    def test_unknown_name(self):
+        with pytest.raises(DataError):
+            get_dataset("taxi")
+
+    def test_n_and_scale_mutually_exclusive(self):
+        with pytest.raises(DataError):
+            get_dataset("tweet", n=10, scale=0.1)
+
+    def test_nonpositive_scale(self):
+        with pytest.raises(DataError):
+            get_dataset("tweet", scale=0.0)
+
+    def test_spec_metadata(self):
+        spec, _ = get_dataset("osm", n=1000)
+        assert spec.full_size == 100_000_000
+        assert spec.default_aggregate == "count"
+        assert "OpenStreetMap" in spec.description

@@ -1,0 +1,142 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic
+from repro.errors import DataError
+
+
+class TestStockIndexWalk:
+    def test_shapes_and_monotone_keys(self):
+        keys, values = synthetic.stock_index_walk(n=2000, seed=1)
+        assert keys.shape == values.shape == (2000,)
+        assert np.all(np.diff(keys) > 0)
+
+    def test_positive_measures(self):
+        _, values = synthetic.stock_index_walk(n=1000, seed=2)
+        assert np.all(values > 0)
+
+    def test_reproducible_with_seed(self):
+        a = synthetic.stock_index_walk(n=500, seed=42)
+        b = synthetic.stock_index_walk(n=500, seed=42)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = synthetic.stock_index_walk(n=500, seed=1)
+        b = synthetic.stock_index_walk(n=500, seed=2)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(DataError):
+            synthetic.stock_index_walk(n=0)
+
+    def test_values_near_start_level(self):
+        _, values = synthetic.stock_index_walk(n=5000, seed=3, start_value=28000.0)
+        assert 20000 < values.mean() < 36000
+
+
+class TestTweetLatitudes:
+    def test_keys_strictly_increasing(self):
+        keys, _ = synthetic.tweet_latitudes(n=3000, seed=4)
+        assert np.all(np.diff(keys) > 0)
+
+    def test_latitude_range(self):
+        keys, _ = synthetic.tweet_latitudes(n=3000, seed=5)
+        assert keys.min() >= -90.0
+        assert keys.max() <= 90.0
+
+    def test_unit_measures_option(self):
+        _, measures = synthetic.tweet_latitudes(n=100, seed=6, with_counts=False)
+        assert np.all(measures == 1.0)
+
+    def test_count_measures_positive_integers(self):
+        _, measures = synthetic.tweet_latitudes(n=100, seed=7)
+        assert np.all(measures >= 1)
+        assert np.all(measures == np.round(measures))
+
+    def test_multi_modal_density(self):
+        keys, _ = synthetic.tweet_latitudes(n=20000, seed=8)
+        # Northern-hemisphere population bands should dominate.
+        northern = np.count_nonzero(keys > 0)
+        assert northern > 0.6 * keys.size
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(DataError):
+            synthetic.tweet_latitudes(n=-5)
+
+
+class TestOsmPoints:
+    def test_shapes(self):
+        xs, ys = synthetic.osm_points(n=4000, seed=9)
+        assert xs.shape == ys.shape == (4000,)
+
+    def test_within_bounds(self):
+        xs, ys = synthetic.osm_points(n=4000, seed=10)
+        assert xs.min() >= -180.0 and xs.max() <= 180.0
+        assert ys.min() >= -85.0 and ys.max() <= 85.0
+
+    def test_clustered_not_uniform(self):
+        xs, _ = synthetic.osm_points(n=20000, seed=11)
+        histogram, _ = np.histogram(xs, bins=20)
+        # Clustered data should be much more uneven than a uniform sample.
+        assert histogram.max() > 3 * histogram.min() + 1
+
+    def test_rejects_bad_cluster_count(self):
+        with pytest.raises(DataError):
+            synthetic.osm_points(n=100, clusters=0)
+
+    def test_reproducible(self):
+        a = synthetic.osm_points(n=300, seed=12)
+        b = synthetic.osm_points(n=300, seed=12)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestUniformAndZipfKeys:
+    def test_uniform_keys_sorted_in_range(self):
+        keys = synthetic.uniform_keys(1000, low=10.0, high=20.0, seed=1)
+        assert np.all(np.diff(keys) > 0)
+        assert keys.min() >= 10.0 and keys.max() <= 20.0
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(DataError):
+            synthetic.uniform_keys(10, low=5.0, high=5.0)
+
+    def test_zipf_keys_skewed(self):
+        keys = synthetic.zipf_keys(5000, alpha=1.5, seed=2)
+        assert np.all(np.diff(keys) >= 0)
+        # Zipf mass concentrates near small values.
+        assert np.median(keys) < keys.mean()
+
+    def test_zipf_rejects_alpha_at_most_one(self):
+        with pytest.raises(DataError):
+            synthetic.zipf_keys(100, alpha=1.0)
+
+
+class TestPiecewiseSmoothMeasures:
+    def test_matches_key_length_and_positive(self):
+        keys = synthetic.uniform_keys(500, seed=3)
+        measures = synthetic.piecewise_smooth_measures(keys, pieces=4, seed=4)
+        assert measures.shape == keys.shape
+        assert np.all(measures > 0)
+
+    def test_rejects_empty_keys(self):
+        with pytest.raises(DataError):
+            synthetic.piecewise_smooth_measures(np.array([]))
+
+    def test_rejects_bad_pieces(self):
+        keys = synthetic.uniform_keys(100, seed=5)
+        with pytest.raises(DataError):
+            synthetic.piecewise_smooth_measures(keys, pieces=0)
+
+
+class TestMakeStrictlyIncreasing:
+    def test_duplicates_are_spread(self):
+        keys = np.array([1.0, 1.0, 1.0, 2.0])
+        fixed = synthetic._make_strictly_increasing(keys)
+        assert np.all(np.diff(fixed) > 0)
+
+    def test_already_increasing_untouched(self):
+        keys = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(synthetic._make_strictly_increasing(keys), keys)

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.DataError,
+    errors.FittingError,
+    errors.SegmentationError,
+    errors.QueryError,
+    errors.GuaranteeNotSatisfiedError,
+    errors.NotSupportedError,
+    errors.SerializationError,
+]
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(error_class):
+    assert issubclass(error_class, errors.ReproError)
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_errors_carry_messages(error_class):
+    with pytest.raises(errors.ReproError, match="boom"):
+        raise error_class("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_catching_base_class_catches_subclasses():
+    try:
+        raise errors.QueryError("bad range")
+    except errors.ReproError as caught:
+        assert "bad range" in str(caught)
+    else:  # pragma: no cover
+        pytest.fail("ReproError did not catch QueryError")

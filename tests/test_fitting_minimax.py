@@ -1,0 +1,139 @@
+"""Tests for minimax (Chebyshev) polynomial fitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.fitting import fit_lstsq_polynomial, fit_minimax_polynomial, fit_minimax_surface
+
+
+class TestFitMinimaxPolynomial:
+    def test_exact_interpolation_when_enough_degree(self):
+        keys = np.array([0.0, 1.0, 2.0])
+        values = np.array([1.0, 3.0, 7.0])
+        fit = fit_minimax_polynomial(keys, values, degree=2)
+        assert fit.max_error == pytest.approx(0.0, abs=1e-9)
+        for k, v in zip(keys, values):
+            assert fit.polynomial(k) == pytest.approx(v, abs=1e-9)
+
+    def test_single_point_constant(self):
+        fit = fit_minimax_polynomial(np.array([5.0]), np.array([42.0]), degree=3)
+        assert fit.polynomial(5.0) == pytest.approx(42.0)
+        assert fit.max_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_chebyshev_solution(self):
+        # Best constant (degree 0) approximation of y = x on [0, 1] sampled
+        # densely is 0.5 with max error 0.5.
+        keys = np.linspace(0.0, 1.0, 101)
+        fit = fit_minimax_polynomial(keys, keys, degree=0, solver="lp")
+        assert fit.polynomial(0.3) == pytest.approx(0.5, abs=1e-6)
+        assert fit.max_error == pytest.approx(0.5, abs=1e-6)
+
+    def test_best_linear_fit_of_parabola(self):
+        # Best degree-1 minimax approximation of x^2 on [0, 1] is x - 1/8,
+        # with equioscillation error 1/8 (classic Chebyshev example).
+        keys = np.linspace(0.0, 1.0, 201)
+        values = keys**2
+        fit = fit_minimax_polynomial(keys, values, degree=1, solver="lp")
+        assert fit.max_error == pytest.approx(0.125, abs=1e-3)
+
+    def test_minimax_not_worse_than_lstsq(self):
+        rng = np.random.default_rng(2)
+        keys = np.sort(rng.uniform(0, 10, size=60))
+        values = np.sin(keys) * 5 + rng.normal(0, 0.2, size=60)
+        lp = fit_minimax_polynomial(keys, values, degree=3, solver="lp")
+        ls = fit_lstsq_polynomial(keys, values, degree=3)
+        assert lp.max_error <= ls.max_error + 1e-9
+
+    def test_error_reported_matches_residuals(self):
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.uniform(0, 1, size=40))
+        values = rng.uniform(0, 100, size=40)
+        fit = fit_minimax_polynomial(keys, values, degree=2)
+        residual = np.max(np.abs(values - fit.polynomial(keys)))
+        assert fit.max_error == pytest.approx(residual, rel=1e-9, abs=1e-9)
+
+    def test_higher_degree_never_increases_error(self):
+        rng = np.random.default_rng(4)
+        keys = np.sort(rng.uniform(0, 5, size=50))
+        values = np.exp(keys / 3.0)
+        errors = [
+            fit_minimax_polynomial(keys, values, degree=deg, solver="lp").max_error
+            for deg in range(4)
+        ]
+        for lower, higher in zip(errors, errors[1:]):
+            assert higher <= lower + 1e-9
+
+    def test_rescaling_handles_large_keys(self):
+        keys = np.linspace(1e8, 1e8 + 1000, 50)
+        values = (keys - 1e8) ** 2 / 1000.0
+        fit = fit_minimax_polynomial(keys, values, degree=2)
+        assert fit.max_error < 1e-3
+
+    def test_rejects_empty(self):
+        with pytest.raises(FittingError):
+            fit_minimax_polynomial(np.array([]), np.array([]), degree=1)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(FittingError):
+            fit_minimax_polynomial(np.array([1.0]), np.array([1.0, 2.0]), degree=1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(FittingError):
+            fit_minimax_polynomial(np.array([1.0, np.nan]), np.array([1.0, 2.0]), degree=1)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(FittingError):
+            fit_minimax_polynomial(np.array([1.0]), np.array([1.0]), degree=-1)
+
+    def test_rejects_unknown_solver(self):
+        with pytest.raises(FittingError):
+            fit_minimax_polynomial(np.array([1.0]), np.array([1.0]), degree=1, solver="magic")
+
+    def test_lstsq_solver_path(self):
+        keys = np.linspace(0, 1, 30)
+        values = 2 * keys + 1
+        fit = fit_minimax_polynomial(keys, values, degree=1, solver="lstsq")
+        assert fit.max_error == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFitMinimaxSurface:
+    def test_exact_fit_of_planar_surface(self):
+        rng = np.random.default_rng(5)
+        us = rng.uniform(0, 1, size=40)
+        vs = rng.uniform(0, 1, size=40)
+        values = 2.0 + 3.0 * us - 1.5 * vs
+        fit = fit_minimax_surface(us, vs, values, degree=1)
+        assert fit.max_error < 1e-6
+
+    def test_quadratic_surface(self):
+        grid = np.linspace(0, 1, 12)
+        uu, vv = np.meshgrid(grid, grid)
+        values = uu.ravel() ** 2 + vv.ravel() * uu.ravel()
+        fit = fit_minimax_surface(uu.ravel(), vv.ravel(), values, degree=2)
+        assert fit.max_error < 1e-6
+
+    def test_degree_zero_is_midrange(self):
+        us = np.array([0.0, 1.0, 0.0, 1.0])
+        vs = np.array([0.0, 0.0, 1.0, 1.0])
+        values = np.array([0.0, 10.0, 0.0, 10.0])
+        fit = fit_minimax_surface(us, vs, values, degree=0, solver="lp")
+        assert fit.polynomial(0.5, 0.5) == pytest.approx(5.0, abs=1e-6)
+        assert fit.max_error == pytest.approx(5.0, abs=1e-6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(FittingError):
+            fit_minimax_surface(np.array([]), np.array([]), np.array([]), degree=1)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(FittingError):
+            fit_minimax_surface(np.array([1.0]), np.array([1.0, 2.0]), np.array([1.0]), degree=1)
+
+    def test_error_matches_residual(self):
+        rng = np.random.default_rng(6)
+        us = rng.uniform(0, 1, size=50)
+        vs = rng.uniform(0, 1, size=50)
+        values = np.sin(us * 3) + np.cos(vs * 2)
+        fit = fit_minimax_surface(us, vs, values, degree=2)
+        residual = np.max(np.abs(values - fit.polynomial(us, vs)))
+        assert fit.max_error == pytest.approx(residual, rel=1e-6, abs=1e-9)

@@ -1,0 +1,86 @@
+"""Tests for the quadtree surface segmentation (Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.config import QuadTreeConfig
+from repro.errors import SegmentationError
+from repro.fitting import build_quadtree_surface
+from repro.functions import build_cumulative_2d
+
+
+def _sample_grid(n_points: int = 3000, resolution: int = 32, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(0, 3, size=n_points)
+    ys = rng.normal(0, 3, size=n_points)
+    cf = build_cumulative_2d(xs, ys)
+    return cf.sample_grid(resolution=resolution)
+
+
+class TestBuildQuadtree:
+    def test_leaves_satisfy_budget_or_are_exact(self):
+        grid_x, grid_y, grid_cf = _sample_grid()
+        config = QuadTreeConfig(delta=50.0, max_depth=8, degree=2)
+        root = build_quadtree_surface(grid_x, grid_y, grid_cf, config)
+        for leaf in root.leaves():
+            assert leaf.is_exact or leaf.max_error <= config.delta + 1e-9
+
+    def test_smaller_delta_more_leaves(self):
+        grid_x, grid_y, grid_cf = _sample_grid()
+        loose = build_quadtree_surface(grid_x, grid_y, grid_cf, QuadTreeConfig(delta=200.0))
+        tight = build_quadtree_surface(grid_x, grid_y, grid_cf, QuadTreeConfig(delta=20.0))
+        assert len(tight.leaves()) >= len(loose.leaves())
+
+    def test_locate_finds_containing_leaf(self):
+        grid_x, grid_y, grid_cf = _sample_grid()
+        root = build_quadtree_surface(grid_x, grid_y, grid_cf, QuadTreeConfig(delta=50.0))
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            u = rng.uniform(grid_x[0], grid_x[-1])
+            v = rng.uniform(grid_y[0], grid_y[-1])
+            leaf = root.locate(u, v)
+            assert leaf.is_leaf
+            assert leaf.x_low - 1e-9 <= u <= leaf.x_high + 1e-9
+            assert leaf.y_low - 1e-9 <= v <= leaf.y_high + 1e-9
+
+    def test_leaf_evaluation_close_to_grid_truth(self):
+        grid_x, grid_y, grid_cf = _sample_grid(resolution=24)
+        delta = 60.0
+        root = build_quadtree_surface(grid_x, grid_y, grid_cf, QuadTreeConfig(delta=delta))
+        # At the grid sample points the fitted/exact leaf value must be within delta.
+        for i in range(0, grid_x.size, 5):
+            for j in range(0, grid_y.size, 5):
+                leaf = root.locate(grid_x[i], grid_y[j])
+                approx = leaf.evaluate(grid_x[i], grid_y[j])
+                assert abs(approx - grid_cf[i, j]) <= delta + 1e-6
+
+    def test_depth_limit_respected(self):
+        grid_x, grid_y, grid_cf = _sample_grid()
+        config = QuadTreeConfig(delta=0.001, max_depth=3)
+        root = build_quadtree_surface(grid_x, grid_y, grid_cf, config)
+        assert max(leaf.depth for leaf in root.leaves()) <= 3
+
+    def test_exact_leaf_below_min_cell_points(self):
+        grid_x, grid_y, grid_cf = _sample_grid(resolution=8)
+        config = QuadTreeConfig(delta=0.001, max_depth=6, min_cell_points=100)
+        root = build_quadtree_surface(grid_x, grid_y, grid_cf, config)
+        # With the whole 8x8 grid (64 points) below min_cell_points, the root
+        # is a single exact leaf.
+        assert root.is_leaf and root.is_exact
+
+    def test_num_parameters_positive(self):
+        grid_x, grid_y, grid_cf = _sample_grid()
+        root = build_quadtree_surface(grid_x, grid_y, grid_cf, QuadTreeConfig(delta=100.0))
+        assert root.num_parameters > 0
+
+    def test_shape_validation(self):
+        with pytest.raises(SegmentationError):
+            build_quadtree_surface(
+                np.array([0.0, 1.0]), np.array([0.0, 1.0]), np.zeros((3, 2)), QuadTreeConfig()
+            )
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(SegmentationError):
+            build_quadtree_surface(
+                np.array([0.0]), np.array([0.0]), np.zeros((1, 1)), QuadTreeConfig()
+            )

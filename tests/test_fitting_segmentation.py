@@ -1,0 +1,152 @@
+"""Tests for Greedy Segmentation (GS) and the DP reference."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentationError
+from repro.fitting import dp_segmentation, greedy_segmentation, segment_count
+
+
+def _piecewise_quadratic(n_per_piece: int = 30, pieces: int = 3, seed: int = 0):
+    """Keys plus values that are exactly piecewise quadratic with jumps."""
+    rng = np.random.default_rng(seed)
+    keys = []
+    values = []
+    offset = 0.0
+    for piece in range(pieces):
+        ks = np.linspace(piece * 10.0, piece * 10.0 + 9.0, n_per_piece)
+        vs = offset + (ks - ks[0]) ** 2 * rng.uniform(0.5, 2.0)
+        keys.append(ks)
+        values.append(vs)
+        offset = vs[-1] + rng.uniform(50, 100)  # jump between pieces
+    return np.concatenate(keys), np.concatenate(values)
+
+
+class TestGreedySegmentation:
+    def test_all_segments_within_budget(self):
+        keys, values = _piecewise_quadratic()
+        delta = 5.0
+        segments = greedy_segmentation(keys, values, delta=delta, degree=2)
+        assert all(segment.max_error <= delta + 1e-9 for segment in segments)
+
+    def test_segments_cover_all_points_without_overlap(self):
+        keys, values = _piecewise_quadratic()
+        segments = greedy_segmentation(keys, values, delta=3.0, degree=2)
+        assert segments[0].start == 0
+        assert segments[-1].stop == keys.size
+        for previous, current in zip(segments, segments[1:]):
+            assert current.start == previous.stop
+
+    def test_key_spans_match_points(self):
+        keys, values = _piecewise_quadratic()
+        segments = greedy_segmentation(keys, values, delta=3.0, degree=2)
+        for segment in segments:
+            assert segment.key_low == keys[segment.start]
+            assert segment.key_high == keys[segment.stop - 1]
+            assert segment.covers(keys[segment.start])
+
+    def test_exact_piecewise_data_needs_one_segment_per_piece(self):
+        keys, values = _piecewise_quadratic(pieces=3)
+        # Degree 2 can capture each quadratic piece exactly; jumps force splits.
+        segments = greedy_segmentation(keys, values, delta=1.0, degree=2)
+        assert segment_count(segments) == 3
+
+    def test_tiny_delta_with_interpolating_degree(self):
+        # A perfectly linear function needs a single degree-1 segment even
+        # under a near-zero budget (the budget only has to absorb LP solver
+        # round-off, which is far below 1e-6).
+        keys = np.arange(10.0)
+        values = 2.0 * keys + 1.0
+        segments = greedy_segmentation(keys, values, delta=1e-6, degree=1)
+        assert segment_count(segments) == 1
+
+    def test_smaller_delta_gives_at_least_as_many_segments(self):
+        keys, values = _piecewise_quadratic(pieces=2, n_per_piece=40, seed=2)
+        values = values + np.sin(keys) * 3.0
+        loose = greedy_segmentation(keys, values, delta=20.0, degree=2)
+        tight = greedy_segmentation(keys, values, delta=2.0, degree=2)
+        assert segment_count(tight) >= segment_count(loose)
+
+    def test_higher_degree_gives_at_most_as_many_segments(self):
+        rng = np.random.default_rng(3)
+        keys = np.sort(rng.uniform(0, 50, size=120))
+        values = np.cumsum(rng.uniform(0, 3, size=120))
+        low_degree = greedy_segmentation(keys, values, delta=2.0, degree=1)
+        high_degree = greedy_segmentation(keys, values, delta=2.0, degree=3)
+        assert segment_count(high_degree) <= segment_count(low_degree)
+
+    def test_linear_and_exponential_search_agree(self):
+        rng = np.random.default_rng(4)
+        keys = np.sort(rng.uniform(0, 20, size=80))
+        values = np.cumsum(rng.uniform(0, 2, size=80))
+        linear = greedy_segmentation(keys, values, delta=1.5, degree=2,
+                                     use_exponential_search=False)
+        exponential = greedy_segmentation(keys, values, delta=1.5, degree=2,
+                                          use_exponential_search=True)
+        assert [s.stop for s in linear] == [s.stop for s in exponential]
+
+    def test_rejects_unsorted_keys(self):
+        with pytest.raises(SegmentationError):
+            greedy_segmentation(np.array([2.0, 1.0]), np.array([1.0, 2.0]), 1.0, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SegmentationError):
+            greedy_segmentation(np.array([]), np.array([]), 1.0, 1)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(SegmentationError):
+            greedy_segmentation(np.array([1.0]), np.array([1.0]), -1.0, 1)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SegmentationError):
+            greedy_segmentation(np.array([1.0, 2.0]), np.array([1.0]), 1.0, 1)
+
+    def test_single_point(self):
+        segments = greedy_segmentation(np.array([3.0]), np.array([9.0]), 1.0, 2)
+        assert segment_count(segments) == 1
+        assert segments[0].polynomial(3.0) == pytest.approx(9.0)
+
+
+class TestOptimality:
+    """GS must produce the minimum number of segments (Theorem 1)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("degree", [1, 2])
+    def test_gs_matches_dp_segment_count(self, seed, degree):
+        rng = np.random.default_rng(seed)
+        keys = np.sort(rng.uniform(0, 10, size=30))
+        values = np.cumsum(rng.uniform(0, 4, size=30))
+        delta = 1.0
+        gs = greedy_segmentation(keys, values, delta=delta, degree=degree)
+        dp = dp_segmentation(keys, values, delta=delta, degree=degree)
+        assert segment_count(gs) == segment_count(dp)
+
+    def test_dp_segments_within_budget(self):
+        rng = np.random.default_rng(5)
+        keys = np.sort(rng.uniform(0, 10, size=25))
+        values = np.cumsum(rng.uniform(0, 4, size=25))
+        delta = 0.8
+        dp = dp_segmentation(keys, values, delta=delta, degree=1)
+        assert all(segment.max_error <= delta + 1e-9 for segment in dp)
+        assert dp[0].start == 0 and dp[-1].stop == keys.size
+
+    def test_dp_rejects_bad_input(self):
+        with pytest.raises(SegmentationError):
+            dp_segmentation(np.array([]), np.array([]), 1.0, 1)
+
+
+class TestMonotonicityLemma:
+    """Lemma 1: the minimax error is monotone in the point set."""
+
+    def test_prefix_error_monotone(self):
+        from repro.fitting import fit_minimax_polynomial
+
+        rng = np.random.default_rng(6)
+        keys = np.sort(rng.uniform(0, 10, size=40))
+        values = np.cumsum(rng.uniform(0, 5, size=40))
+        errors = [
+            fit_minimax_polynomial(keys[:length], values[:length], degree=2, solver="lp").max_error
+            for length in range(4, 41, 4)
+        ]
+        for shorter, longer in zip(errors, errors[1:]):
+            assert longer >= shorter - 1e-9

@@ -1,0 +1,142 @@
+"""Tests for the two-key cumulative count structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, QueryError
+from repro.functions import build_cumulative_2d
+
+
+@pytest.fixture()
+def grid_points():
+    """A deterministic 5x5 lattice of points."""
+    xs, ys = np.meshgrid(np.arange(5.0), np.arange(5.0))
+    return xs.ravel(), ys.ravel()
+
+
+class TestBuild:
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            build_cumulative_2d(np.array([]), np.array([]))
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(DataError):
+            build_cumulative_2d(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            build_cumulative_2d(np.array([np.nan]), np.array([1.0]))
+
+    def test_size_and_bounds(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        assert cf.size == 25
+        assert cf.bounds == (0.0, 4.0, 0.0, 4.0)
+
+
+class TestEvaluate:
+    def test_corner_counts(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        assert cf.evaluate(0.0, 0.0) == 1.0
+        assert cf.evaluate(4.0, 4.0) == 25.0
+        assert cf.evaluate(1.0, 2.0) == 6.0  # 2 columns x 3 rows
+        assert cf.evaluate(-1.0, 4.0) == 0.0
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0, 10, size=400)
+        ys = rng.uniform(0, 10, size=400)
+        cf = build_cumulative_2d(xs, ys)
+        for _ in range(40):
+            u, v = rng.uniform(0, 10, size=2)
+            expected = np.count_nonzero((xs <= u) & (ys <= v))
+            assert cf.evaluate(u, v) == expected
+
+
+class TestRangeCount:
+    def test_full_box(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        assert cf.range_count(0.0, 4.0, 0.0, 4.0) == 25.0
+
+    def test_sub_rectangle(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        assert cf.range_count(1.0, 2.0, 1.0, 3.0) == 6.0  # 2 x 3 lattice points
+
+    def test_empty_rectangle(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        assert cf.range_count(0.1, 0.9, 0.1, 0.9) == 0.0
+
+    def test_invalid_bounds(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        with pytest.raises(QueryError):
+            cf.range_count(2.0, 1.0, 0.0, 1.0)
+
+    def test_matches_brute_force_random(self):
+        rng = np.random.default_rng(9)
+        xs = rng.normal(0, 5, size=500)
+        ys = rng.normal(0, 5, size=500)
+        cf = build_cumulative_2d(xs, ys)
+        for _ in range(40):
+            x1, x2 = np.sort(rng.uniform(-10, 10, size=2))
+            y1, y2 = np.sort(rng.uniform(-10, 10, size=2))
+            expected = np.count_nonzero((xs >= x1) & (xs <= x2) & (ys >= y1) & (ys <= y2))
+            assert cf.range_count(x1, x2, y1, y2) == expected
+
+
+class TestSampleGrid:
+    def test_grid_shapes(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        gx, gy, gcf = cf.sample_grid(resolution=8)
+        assert gx.shape == (8,)
+        assert gy.shape == (8,)
+        assert gcf.shape == (8, 8)
+
+    def test_grid_monotone_in_both_axes(self):
+        rng = np.random.default_rng(4)
+        xs = rng.uniform(0, 1, size=300)
+        ys = rng.uniform(0, 1, size=300)
+        cf = build_cumulative_2d(xs, ys)
+        _, _, gcf = cf.sample_grid(resolution=16)
+        assert np.all(np.diff(gcf, axis=0) >= 0)
+        assert np.all(np.diff(gcf, axis=1) >= 0)
+
+    def test_grid_total_matches_size(self):
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(0, 1, size=250)
+        ys = rng.uniform(0, 1, size=250)
+        cf = build_cumulative_2d(xs, ys)
+        _, _, gcf = cf.sample_grid(resolution=12)
+        assert gcf[-1, -1] == 250
+
+    def test_bad_resolution(self, grid_points):
+        cf = build_cumulative_2d(*grid_points)
+        with pytest.raises(QueryError):
+            cf.sample_grid(resolution=1)
+
+
+class TestWeightedCumulative2D:
+    def test_weighted_evaluate_and_range(self):
+        xs = np.array([0.0, 1.0, 2.0, 3.0])
+        ys = np.array([0.0, 1.0, 2.0, 3.0])
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        cf = build_cumulative_2d(xs, ys, weights=weights)
+        assert cf.total == 10.0
+        assert cf.evaluate(1.5, 1.5) == 3.0
+        assert cf.range_count(1.0, 3.0, 1.0, 3.0) == 9.0
+
+    def test_weighted_grid_total(self):
+        rng = np.random.default_rng(8)
+        xs = rng.uniform(0, 1, size=200)
+        ys = rng.uniform(0, 1, size=200)
+        weights = rng.uniform(0, 5, size=200)
+        cf = build_cumulative_2d(xs, ys, weights=weights)
+        _, _, grid = cf.sample_grid(resolution=10)
+        assert grid[-1, -1] == pytest.approx(weights.sum())
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DataError):
+            build_cumulative_2d(np.array([0.0]), np.array([0.0]), weights=np.array([-1.0]))
+
+    def test_mismatched_weights_rejected(self):
+        with pytest.raises(DataError):
+            build_cumulative_2d(np.array([0.0, 1.0]), np.array([0.0, 1.0]),
+                                weights=np.array([1.0]))

@@ -1,0 +1,108 @@
+"""Tests for the Lemma 2-7 guarantee arithmetic."""
+
+import pytest
+
+from repro import Aggregate
+from repro.errors import QueryError
+from repro.index import (
+    CORNER_FACTORS,
+    certified_absolute_bound,
+    certify_relative,
+    delta_for_absolute,
+    delta_for_relative,
+)
+from repro.index.guarantees import corner_factor
+
+
+class TestCornerFactors:
+    def test_paper_values(self):
+        assert CORNER_FACTORS[(Aggregate.SUM, 1)] == 2
+        assert CORNER_FACTORS[(Aggregate.COUNT, 1)] == 2
+        assert CORNER_FACTORS[(Aggregate.MAX, 1)] == 1
+        assert CORNER_FACTORS[(Aggregate.MIN, 1)] == 1
+        assert CORNER_FACTORS[(Aggregate.COUNT, 2)] == 4
+
+    def test_unsupported_combination(self):
+        with pytest.raises(QueryError):
+            corner_factor(Aggregate.MAX, 2)
+
+
+class TestDeltaForAbsolute:
+    def test_lemma2_sum_count(self):
+        assert delta_for_absolute(100.0, Aggregate.COUNT) == 50.0
+        assert delta_for_absolute(100.0, Aggregate.SUM) == 50.0
+
+    def test_lemma4_max_min(self):
+        assert delta_for_absolute(100.0, Aggregate.MAX) == 100.0
+        assert delta_for_absolute(100.0, Aggregate.MIN) == 100.0
+
+    def test_lemma6_two_keys(self):
+        assert delta_for_absolute(1000.0, Aggregate.COUNT, num_keys=2) == 250.0
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(QueryError):
+            delta_for_absolute(0.0, Aggregate.COUNT)
+
+
+class TestCertifiedBound:
+    def test_bound_is_corner_factor_times_delta(self):
+        assert certified_absolute_bound(50.0, Aggregate.COUNT) == 100.0
+        assert certified_absolute_bound(50.0, Aggregate.MAX) == 50.0
+        assert certified_absolute_bound(250.0, Aggregate.COUNT, num_keys=2) == 1000.0
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(QueryError):
+            certified_absolute_bound(-1.0, Aggregate.COUNT)
+
+
+class TestCertifyRelative:
+    def test_lemma3_threshold(self):
+        # threshold = 2 * delta * (1 + 1/eps)
+        delta, eps = 50.0, 0.01
+        threshold = 2 * delta * (1 + 1 / eps)
+        assert certify_relative(threshold, delta, eps, Aggregate.COUNT)
+        assert not certify_relative(threshold - 1, delta, eps, Aggregate.COUNT)
+
+    def test_lemma5_threshold(self):
+        delta, eps = 50.0, 0.01
+        threshold = delta * (1 + 1 / eps)
+        assert certify_relative(threshold, delta, eps, Aggregate.MAX)
+        assert not certify_relative(threshold - 1, delta, eps, Aggregate.MAX)
+
+    def test_lemma7_threshold(self):
+        delta, eps = 250.0, 0.01
+        threshold = 4 * delta * (1 + 1 / eps)
+        assert certify_relative(threshold, delta, eps, Aggregate.COUNT, num_keys=2)
+        assert not certify_relative(threshold - 1, delta, eps, Aggregate.COUNT, num_keys=2)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(QueryError):
+            certify_relative(10.0, 1.0, 0.0, Aggregate.COUNT)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(QueryError):
+            certify_relative(10.0, -1.0, 0.1, Aggregate.COUNT)
+
+    def test_certificate_implies_true_relative_error(self):
+        """If the certificate holds then any exact value within the absolute
+        bound is within the relative error (the content of Lemma 3)."""
+        delta, eps = 25.0, 0.05
+        approx = 2 * delta * (1 + 1 / eps) + 10.0
+        assert certify_relative(approx, delta, eps, Aggregate.SUM)
+        # Worst case exact value given |approx - exact| <= 2 delta.
+        worst_exact = approx - 2 * delta
+        assert abs(approx - worst_exact) / worst_exact <= eps + 1e-12
+
+
+class TestDeltaForRelative:
+    def test_derived_delta_certifies_expected_magnitude(self):
+        eps = 0.01
+        magnitude = 10_000.0
+        delta = delta_for_relative(eps, Aggregate.COUNT, expected_magnitude=magnitude)
+        assert certify_relative(magnitude, delta, eps, Aggregate.COUNT)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(QueryError):
+            delta_for_relative(0.0, Aggregate.COUNT, expected_magnitude=1.0)
+        with pytest.raises(QueryError):
+            delta_for_relative(0.1, Aggregate.COUNT, expected_magnitude=0.0)

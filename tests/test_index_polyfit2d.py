@@ -1,0 +1,169 @@
+"""Tests for the two-key PolyFit index."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    Guarantee,
+    PolyFit2DIndex,
+    RangeQuery2D,
+    generate_rectangle_queries,
+)
+from repro.config import QuadTreeConfig
+from repro.errors import GuaranteeNotSatisfiedError, NotSupportedError, QueryError
+
+
+class TestBuild:
+    def test_guarantee_derives_delta(self, osm_small):
+        xs, ys = osm_small
+        index = PolyFit2DIndex.build(xs, ys, guarantee=Guarantee.absolute(1000.0),
+                                     grid_resolution=32)
+        assert index.delta == 250.0  # Lemma 6
+
+    def test_explicit_delta(self, osm_small):
+        xs, ys = osm_small
+        index = PolyFit2DIndex.build(xs, ys, delta=300.0, grid_resolution=32)
+        assert index.delta == 300.0
+
+    def test_requires_delta_or_guarantee(self, osm_small):
+        xs, ys = osm_small
+        with pytest.raises(QueryError):
+            PolyFit2DIndex.build(xs, ys)
+
+    def test_relative_guarantee_rejected_at_build(self, osm_small):
+        xs, ys = osm_small
+        with pytest.raises(QueryError):
+            PolyFit2DIndex.build(xs, ys, guarantee=Guarantee.relative(0.01))
+
+    def test_max_aggregate_rejected(self, osm_small):
+        xs, ys = osm_small
+        with pytest.raises(NotSupportedError):
+            PolyFit2DIndex.build(xs, ys, delta=100.0, aggregate=Aggregate.MAX)
+
+    def test_leaf_counts(self, count2d_index):
+        assert count2d_index.num_leaves >= 1
+        assert 0 <= count2d_index.num_fitted_leaves <= count2d_index.num_leaves
+
+    def test_smaller_delta_more_leaves(self, osm_small):
+        xs, ys = osm_small
+        loose = PolyFit2DIndex.build(xs, ys, delta=800.0, grid_resolution=32)
+        tight = PolyFit2DIndex.build(xs, ys, delta=80.0, grid_resolution=32)
+        assert tight.num_leaves >= loose.num_leaves
+
+    def test_size_in_bytes_positive(self, count2d_index):
+        assert count2d_index.size_in_bytes() > 0
+
+    def test_config_recorded(self, osm_small):
+        xs, ys = osm_small
+        config = QuadTreeConfig(delta=1.0, max_depth=5, degree=3)
+        index = PolyFit2DIndex.build(xs, ys, delta=400.0, config=config, grid_resolution=32)
+        assert index.config.delta == 400.0  # overridden by explicit delta
+        assert index.config.max_depth == 5
+        assert index.config.degree == 3
+
+
+class TestQueries:
+    def test_absolute_guarantee_holds(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        eps = 1000.0
+        queries = generate_rectangle_queries(xs, ys, 60, seed=1)
+        for query in queries:
+            result = count2d_index.query(query, Guarantee.absolute(eps))
+            exact = count2d_index.exact(query)
+            assert result.guaranteed
+            assert abs(result.value - exact) <= eps + 1e-6
+
+    def test_relative_guarantee_with_fallback(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        eps = 0.05
+        queries = generate_rectangle_queries(xs, ys, 40, seed=2)
+        for query in queries:
+            result = count2d_index.query(query, Guarantee.relative(eps))
+            exact = count2d_index.exact(query)
+            if exact > 0:
+                assert abs(result.value - exact) / exact <= eps + 1e-9
+
+    def test_small_rectangle_falls_back(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        tiny = RangeQuery2D(xs[0], xs[0] + 1e-6, ys[0], ys[0] + 1e-6)
+        result = count2d_index.query(tiny, Guarantee.relative(0.01))
+        assert result.exact_fallback
+
+    def test_full_box_close_to_total(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        query = RangeQuery2D(xs.min(), xs.max(), ys.min(), ys.max())
+        approx = count2d_index.estimate(query)
+        assert approx == pytest.approx(xs.size, abs=4 * count2d_index.delta)
+
+    def test_rectangle_outside_domain_near_zero(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        query = RangeQuery2D(xs.min() - 100.0, xs.min() - 50.0, ys.min(), ys.max())
+        assert abs(count2d_index.estimate(query)) <= 4 * count2d_index.delta
+
+    def test_aggregate_mismatch(self, count2d_index):
+        with pytest.raises(NotSupportedError):
+            count2d_index.estimate(RangeQuery2D(0, 1, 0, 1, Aggregate.SUM))
+
+    def test_error_bound_reported(self, count2d_index):
+        result = count2d_index.query(RangeQuery2D(-10, 10, -10, 10))
+        assert result.error_bound == pytest.approx(4 * count2d_index.delta)
+
+    def test_require_guarantee_raises(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        tiny = RangeQuery2D(xs[0], xs[0] + 1e-6, ys[0], ys[0] + 1e-6)
+        with pytest.raises(GuaranteeNotSatisfiedError):
+            count2d_index.require_guarantee(tiny, Guarantee.relative(0.01))
+
+    def test_require_guarantee_absolute_mismatch(self, count2d_index):
+        with pytest.raises(GuaranteeNotSatisfiedError):
+            count2d_index.require_guarantee(
+                RangeQuery2D(0, 1, 0, 1), Guarantee.absolute(1.0)
+            )
+
+    def test_exact_matches_brute_force(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            x1, x2 = np.sort(rng.uniform(xs.min(), xs.max(), size=2))
+            y1, y2 = np.sort(rng.uniform(ys.min(), ys.max(), size=2))
+            expected = np.count_nonzero((xs >= x1) & (xs <= x2) & (ys >= y1) & (ys <= y2))
+            assert count2d_index.exact(RangeQuery2D(x1, x2, y1, y2)) == expected
+
+
+class TestWeightedSum2D:
+    """Two-key SUM support (Section VI: 'other types of range aggregate queries')."""
+
+    def test_sum_requires_measures(self, osm_small):
+        xs, ys = osm_small
+        with pytest.raises(QueryError):
+            PolyFit2DIndex.build(xs, ys, delta=100.0, aggregate=Aggregate.SUM,
+                                 grid_resolution=32)
+
+    def test_sum_guarantee_holds(self, osm_small):
+        xs, ys = osm_small
+        rng = np.random.default_rng(77)
+        measures = rng.uniform(0.5, 2.0, size=xs.size)
+        eps = 2000.0
+        index = PolyFit2DIndex.build(xs, ys, measures,
+                                     guarantee=Guarantee.absolute(eps),
+                                     aggregate=Aggregate.SUM, grid_resolution=48)
+        queries = generate_rectangle_queries(xs, ys, 40, Aggregate.SUM, seed=78)
+        for query in queries:
+            exact = index.exact(query)
+            brute = measures[(xs >= query.x_low) & (xs <= query.x_high)
+                             & (ys >= query.y_low) & (ys <= query.y_high)].sum()
+            assert exact == pytest.approx(brute)
+            assert abs(index.query(query).value - exact) <= eps + 1e-6
+
+    def test_unit_measures_match_count(self, osm_small):
+        xs, ys = osm_small
+        unit = np.ones(xs.size)
+        sum_index = PolyFit2DIndex.build(xs, ys, unit, delta=250.0,
+                                         aggregate=Aggregate.SUM, grid_resolution=48)
+        count_index = PolyFit2DIndex.build(xs, ys, delta=250.0, grid_resolution=48)
+        queries = generate_rectangle_queries(xs, ys, 20, seed=79)
+        for query in queries:
+            sum_query = RangeQuery2D(query.x_low, query.x_high, query.y_low,
+                                     query.y_high, Aggregate.SUM)
+            assert sum_index.exact(sum_query) == pytest.approx(count_index.exact(query))

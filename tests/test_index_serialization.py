@@ -1,0 +1,103 @@
+"""Tests for index serialization (JSON round-tripping)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    Guarantee,
+    PolyFitIndex,
+    RangeQuery,
+    generate_range_queries,
+    index_from_dict,
+    index_to_dict,
+    load_index,
+    save_index,
+)
+from repro.errors import SerializationError
+
+
+class TestDictRoundTrip:
+    def test_count_index_round_trip(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        payload = index_to_dict(count_index)
+        clone = index_from_dict(payload)
+        assert clone.num_segments == count_index.num_segments
+        assert clone.delta == count_index.delta
+        queries = generate_range_queries(keys, 30, Aggregate.COUNT, seed=1)
+        for query in queries:
+            assert clone.query_value(query.low, query.high) == pytest.approx(
+                count_index.query_value(query.low, query.high)
+            )
+
+    def test_max_index_round_trip(self, max_index, hki_small):
+        keys, _ = hki_small
+        clone = index_from_dict(index_to_dict(max_index))
+        queries = generate_range_queries(keys, 30, Aggregate.MAX, seed=2)
+        for query in queries:
+            original = max_index.query(query).value
+            restored = clone.query(query).value
+            if np.isnan(original) and np.isnan(restored):
+                continue
+            assert restored == pytest.approx(original)
+
+    def test_payload_is_json_serializable(self, count_index):
+        payload = index_to_dict(count_index)
+        text = json.dumps(payload)
+        assert isinstance(json.loads(text), dict)
+
+    def test_guarantees_preserved_after_round_trip(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        clone = index_from_dict(index_to_dict(count_index))
+        queries = generate_range_queries(keys, 30, Aggregate.COUNT, seed=3)
+        for query in queries:
+            result = clone.query(query, Guarantee.absolute(100.0))
+            exact = clone.exact(query)
+            assert abs(result.value - exact) <= 100.0 + 1e-6
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            index_from_dict({"format_version": 1})
+
+    def test_wrong_version_rejected(self, count_index):
+        payload = index_to_dict(count_index)
+        payload["format_version"] = 999
+        with pytest.raises(SerializationError):
+            index_from_dict(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, count_index, tmp_path, tweet_small):
+        keys, _ = tweet_small
+        path = tmp_path / "index.json"
+        save_index(count_index, path)
+        restored = load_index(path)
+        assert restored.num_segments == count_index.num_segments
+        query = RangeQuery(float(keys[100]), float(keys[-100]), Aggregate.COUNT)
+        assert restored.query_value(query.low, query.high) == pytest.approx(
+            count_index.query_value(query.low, query.high)
+        )
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_index(tmp_path / "missing.json")
+
+    def test_load_corrupted_file(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_serialized_sum_index(self, tweet_small, tmp_path):
+        keys, measures = tweet_small
+        index = PolyFitIndex.build(keys, measures, aggregate=Aggregate.SUM, delta=100.0)
+        path = tmp_path / "sum.json"
+        save_index(index, path)
+        clone = load_index(path)
+        assert clone.aggregate is Aggregate.SUM
+        query = RangeQuery(float(keys[10]), float(keys[-10]), Aggregate.SUM)
+        assert clone.query_value(query.low, query.high) == pytest.approx(
+            index.query_value(query.low, query.high)
+        )

@@ -1,0 +1,193 @@
+"""Integration tests: full dataset -> index -> workload -> guarantee pipeline.
+
+These tests exercise the public API end to end the way the examples and
+benchmarks do, and additionally cross-check PolyFit against every baseline on
+the same workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    Guarantee,
+    PolyFitIndex,
+    PolyFit2DIndex,
+    QueryEngine,
+    generate_range_queries,
+    generate_rectangle_queries,
+)
+from repro.baselines import (
+    AggregateRTree2D,
+    AggregateSegmentTree,
+    BruteForceAggregator,
+    EntropyHistogram,
+    FITingTree,
+    KeyCumulativeArray,
+    RecursiveModelIndex,
+    SampledBTree,
+)
+from repro.datasets import get_dataset
+
+
+class TestCountPipeline:
+    """COUNT (single key) across PolyFit and all baselines on TWEET."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        _, (keys, measures) = get_dataset("tweet", n=5000, seed=3)
+        queries = generate_range_queries(keys, 100, Aggregate.COUNT, seed=4)
+        brute = BruteForceAggregator(keys, measures)
+        return keys, measures, queries, brute
+
+    def test_polyfit_guarantee_holds_end_to_end(self, setup):
+        keys, _, queries, brute = setup
+        eps = 100.0
+        index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT,
+                                   guarantee=Guarantee.absolute(eps))
+        engine = QueryEngine(index.query, index.exact, name="PolyFit-2")
+        report = engine.accuracy(queries, Guarantee.absolute(eps))
+        assert report.guarantee_violations == 0
+        assert report.max_absolute_error <= eps + 1e-6
+
+    def test_exact_methods_agree(self, setup):
+        keys, measures, queries, brute = setup
+        kca = KeyCumulativeArray.build(keys, aggregate=Aggregate.COUNT)
+        tree = AggregateSegmentTree(keys, measures, Aggregate.COUNT)
+        for query in queries[:40]:
+            expected = brute.range_aggregate(query.low, query.high, Aggregate.COUNT)
+            assert kca.range_aggregate(query.low, query.high) == pytest.approx(expected)
+            assert tree.range_query(query.low, query.high) == pytest.approx(expected)
+
+    def test_learned_baselines_with_guarantees(self, setup):
+        keys, _, queries, brute = setup
+        eps = 100.0
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+        fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=eps / 2)
+        for query in queries[:50]:
+            exact = brute.range_aggregate(query.low, query.high, Aggregate.COUNT)
+            assert abs(rmi.query(query, Guarantee.absolute(eps)).value - exact) <= eps + 1e-6
+            assert abs(fiting.query(query, Guarantee.absolute(eps)).value - exact) <= eps + 1e-6
+
+    def test_heuristics_reasonable(self, setup):
+        keys, _, queries, brute = setup
+        hist = EntropyHistogram(keys, num_buckets=256)
+        stree = SampledBTree(keys, sample_fraction=0.2, seed=5)
+        errors_hist, errors_stree = [], []
+        for query in queries[:50]:
+            exact = brute.range_aggregate(query.low, query.high, Aggregate.COUNT)
+            if exact < 50:
+                continue
+            errors_hist.append(abs(hist.range_estimate(query.low, query.high) - exact) / exact)
+            errors_stree.append(abs(stree.range_estimate(query.low, query.high) - exact) / exact)
+        assert np.mean(errors_hist) < 0.25
+        assert np.mean(errors_stree) < 0.25
+
+    def test_polyfit_more_compact_than_raw_data(self, setup):
+        keys, _, _, _ = setup
+        index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=50.0)
+        kca = KeyCumulativeArray.build(keys, aggregate=Aggregate.COUNT)
+        assert index.size_in_bytes() < kca.size_in_bytes()
+
+
+class TestMaxPipeline:
+    """MAX (single key) on HKI: PolyFit vs aggregate tree vs brute force."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        _, (keys, measures) = get_dataset("hki", n=5000, seed=6)
+        queries = generate_range_queries(keys, 100, Aggregate.MAX, seed=7)
+        return keys, measures, queries
+
+    def test_polyfit_max_guarantee(self, setup):
+        keys, measures, queries = setup
+        eps = 100.0
+        index = PolyFitIndex.build(keys, measures, aggregate=Aggregate.MAX,
+                                   guarantee=Guarantee.absolute(eps))
+        brute = BruteForceAggregator(keys, measures)
+        for query in queries:
+            exact = brute.range_aggregate(query.low, query.high, Aggregate.MAX)
+            if np.isnan(exact):
+                continue
+            assert abs(index.query(query).value - exact) <= eps + 1e-6
+
+    def test_aggregate_tree_is_exact(self, setup):
+        keys, measures, queries = setup
+        tree = AggregateSegmentTree(keys, measures, Aggregate.MAX)
+        brute = BruteForceAggregator(keys, measures)
+        for query in queries[:60]:
+            exact = brute.range_aggregate(query.low, query.high, Aggregate.MAX)
+            got = tree.range_query(query.low, query.high)
+            if np.isnan(exact):
+                assert np.isnan(got)
+            else:
+                assert got == pytest.approx(exact)
+
+
+class TestTwoKeyPipeline:
+    """COUNT (two keys) on OSM: PolyFit2D vs aR-tree vs brute force."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        _, (xs, ys) = get_dataset("osm", n=6000, seed=8)
+        queries = generate_rectangle_queries(xs, ys, 80, seed=9)
+        brute = BruteForceAggregator(xs, np.ones(xs.size), second_keys=ys)
+        return xs, ys, queries, brute
+
+    def test_polyfit2d_guarantee(self, setup):
+        xs, ys, queries, brute = setup
+        eps = 1000.0
+        index = PolyFit2DIndex.build(xs, ys, guarantee=Guarantee.absolute(eps),
+                                     grid_resolution=48)
+        for query in queries:
+            exact = brute.rectangle_aggregate(query.x_low, query.x_high,
+                                              query.y_low, query.y_high)
+            assert abs(index.query(query).value - exact) <= eps + 1e-6
+
+    def test_artree_exact(self, setup):
+        xs, ys, queries, brute = setup
+        tree = AggregateRTree2D(xs, ys)
+        for query in queries[:40]:
+            exact = brute.rectangle_aggregate(query.x_low, query.x_high,
+                                              query.y_low, query.y_high)
+            assert tree.rectangle_aggregate(query.x_low, query.x_high,
+                                            query.y_low, query.y_high) == pytest.approx(exact)
+
+    def test_relative_guarantee_pipeline(self, setup):
+        xs, ys, queries, brute = setup
+        index = PolyFit2DIndex.build(xs, ys, delta=250.0, grid_resolution=48)
+        eps = 0.01
+        for query in queries[:40]:
+            result = index.query(query, Guarantee.relative(eps))
+            exact = brute.rectangle_aggregate(query.x_low, query.x_high,
+                                              query.y_low, query.y_high)
+            if exact > 0:
+                assert abs(result.value - exact) / exact <= eps + 1e-9
+
+
+class TestCrossAggregateConsistency:
+    def test_count_equals_sum_of_unit_measures(self):
+        _, (keys, _) = get_dataset("tweet", n=3000, seed=10)
+        unit = np.ones_like(keys)
+        count_index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=25.0)
+        sum_index = PolyFitIndex.build(keys, unit, aggregate=Aggregate.SUM, delta=25.0)
+        queries = generate_range_queries(keys, 40, Aggregate.COUNT, seed=11)
+        for query in queries:
+            count_exact = count_index.exact(query)
+            sum_exact = sum_index.exact(
+                type(query)(query.low, query.high, Aggregate.SUM)
+            )
+            assert count_exact == pytest.approx(sum_exact)
+
+    def test_min_is_negated_max_of_negated_measures(self):
+        _, (keys, measures) = get_dataset("hki", n=3000, seed=12)
+        brute = BruteForceAggregator(keys, measures)
+        queries = generate_range_queries(keys, 30, Aggregate.MIN, seed=13)
+        for query in queries:
+            expected_min = brute.range_aggregate(query.low, query.high, Aggregate.MIN)
+            negated = BruteForceAggregator(keys, -measures)
+            expected_from_max = -negated.range_aggregate(query.low, query.high, Aggregate.MAX)
+            if np.isnan(expected_min):
+                assert np.isnan(expected_from_max)
+            else:
+                assert expected_min == pytest.approx(expected_from_max)

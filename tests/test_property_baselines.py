@@ -1,0 +1,128 @@
+"""Property-based tests for baseline data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Aggregate
+from repro.baselines import (
+    AggregateSegmentTree,
+    BPlusTree,
+    BruteForceAggregator,
+    EntropyHistogram,
+    KeyCumulativeArray,
+)
+
+
+_key_measure_sets = st.integers(min_value=2, max_value=60).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        ),
+        st.lists(
+            st.floats(min_value=0, max_value=1e3, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        ),
+    )
+)
+
+_ranges = st.tuples(
+    st.floats(min_value=-1.2e4, max_value=1.2e4, allow_nan=False),
+    st.floats(min_value=-1.2e4, max_value=1.2e4, allow_nan=False),
+)
+
+
+class TestKeyCumulativeArrayProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(data=_key_measure_sets, query=_ranges)
+    def test_matches_brute_force_sum(self, data, query):
+        keys = np.asarray(data[0])
+        measures = np.asarray(data[1])
+        low, high = min(query), max(query)
+        kca = KeyCumulativeArray.build(keys, measures)
+        brute = BruteForceAggregator(keys, measures)
+        assert kca.range_aggregate(low, high) == pytest.approx(
+            brute.range_aggregate(low, high, Aggregate.SUM), rel=1e-9, abs=1e-6
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=_key_measure_sets)
+    def test_cumulative_monotone(self, data):
+        kca = KeyCumulativeArray.build(np.asarray(data[0]), np.asarray(data[1]))
+        assert np.all(np.diff(kca.cumulative) >= -1e-9)
+
+
+class TestAggregateTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(data=_key_measure_sets, query=_ranges,
+           aggregate=st.sampled_from([Aggregate.MAX, Aggregate.MIN, Aggregate.SUM]))
+    def test_matches_brute_force(self, data, query, aggregate):
+        keys = np.asarray(data[0])
+        measures = np.asarray(data[1])
+        low, high = min(query), max(query)
+        tree = AggregateSegmentTree(keys, measures, aggregate)
+        brute = BruteForceAggregator(keys, measures)
+        expected = brute.range_aggregate(low, high, aggregate)
+        got = tree.range_query(low, high)
+        if np.isnan(expected):
+            assert np.isnan(got) or got == 0.0 and aggregate is Aggregate.SUM
+        else:
+            assert got == pytest.approx(expected, rel=1e-9, abs=1e-6)
+
+
+class TestBPlusTreeProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=80,
+            unique=True,
+        ),
+        branching=st.integers(min_value=4, max_value=16),
+    )
+    def test_insert_then_iterate_matches_sorted(self, keys, branching):
+        tree = BPlusTree(branching_factor=branching)
+        for key in keys:
+            tree.insert(key, key)
+        assert tree.keys() == sorted(keys)
+        assert tree.size == len(keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=60,
+            unique=True,
+        ),
+        query=_ranges,
+    )
+    def test_range_count_matches_numpy(self, keys, query):
+        low, high = min(query), max(query)
+        sorted_keys = np.sort(np.asarray(keys))
+        tree = BPlusTree.from_sorted(sorted_keys, branching_factor=8)
+        expected = int(np.count_nonzero((sorted_keys >= low) & (sorted_keys <= high)))
+        assert tree.range_aggregate(low, high, "count") == expected
+
+
+class TestHistogramProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(data=_key_measure_sets, buckets=st.integers(min_value=1, max_value=64))
+    def test_total_mass_preserved(self, data, buckets):
+        keys = np.asarray(data[0])
+        hist = EntropyHistogram(keys, num_buckets=buckets)
+        assert hist.masses.sum() == pytest.approx(keys.size, rel=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=_key_measure_sets, buckets=st.integers(min_value=1, max_value=64))
+    def test_full_domain_estimate_is_total(self, data, buckets):
+        keys = np.asarray(data[0])
+        hist = EntropyHistogram(keys, num_buckets=buckets)
+        span = keys.max() - keys.min() + 1.0
+        estimate = hist.range_estimate(keys.min() - span, keys.max() + span)
+        assert estimate == pytest.approx(keys.size, rel=1e-9, abs=1e-6)

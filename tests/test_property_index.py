@@ -1,0 +1,130 @@
+"""Property-based tests for the PolyFit indexes: guarantees on random data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Aggregate, Guarantee, PolyFitIndex, RangeQuery
+from repro.baselines import BruteForceAggregator
+
+
+def _dataset_strategy(min_size=10, max_size=60):
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            st.lists(
+                st.floats(min_value=0, max_value=1e4, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+                unique=True,
+            ),
+            st.lists(
+                st.floats(min_value=0, max_value=1e3, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            ),
+        )
+    )
+
+
+class TestCountGuaranteeProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=_dataset_strategy(),
+        eps=st.floats(min_value=2.0, max_value=100.0),
+        bounds=st.tuples(
+            st.floats(min_value=-100, max_value=1.1e4, allow_nan=False),
+            st.floats(min_value=-100, max_value=1.1e4, allow_nan=False),
+        ),
+    )
+    def test_absolute_count_guarantee(self, data, eps, bounds):
+        keys = np.sort(np.asarray(data[0], dtype=np.float64))
+        index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT,
+                                   guarantee=Guarantee.absolute(eps))
+        low, high = min(bounds), max(bounds)
+        query = RangeQuery(low, high, Aggregate.COUNT)
+        exact = float(np.count_nonzero((keys >= low) & (keys <= high)))
+        result = index.query(query, Guarantee.absolute(eps))
+        assert abs(result.value - exact) <= eps + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=_dataset_strategy(), eps=st.floats(min_value=0.005, max_value=0.5))
+    def test_relative_count_guarantee_with_fallback(self, data, eps):
+        keys = np.sort(np.asarray(data[0], dtype=np.float64))
+        index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=5.0)
+        low, high = float(keys[0]), float(keys[-1])
+        query = RangeQuery(low, high, Aggregate.COUNT)
+        exact = float(keys.size)
+        result = index.query(query, Guarantee.relative(eps))
+        assert abs(result.value - exact) <= eps * exact + 1e-6
+
+
+class TestSumGuaranteeProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(data=_dataset_strategy(), eps=st.floats(min_value=10.0, max_value=500.0))
+    def test_absolute_sum_guarantee(self, data, eps):
+        keys = np.sort(np.asarray(data[0], dtype=np.float64))
+        measures = np.asarray(data[1], dtype=np.float64)
+        index = PolyFitIndex.build(keys, measures, aggregate=Aggregate.SUM,
+                                   guarantee=Guarantee.absolute(eps))
+        brute = BruteForceAggregator(keys, measures)
+        low, high = float(keys[len(keys) // 4]), float(keys[-1])
+        query = RangeQuery(low, high, Aggregate.SUM)
+        exact = brute.range_aggregate(low, high, Aggregate.SUM)
+        assert abs(index.query(query).value - exact) <= eps + 1e-6
+
+
+class TestMaxGuaranteeProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(data=_dataset_strategy(min_size=15, max_size=50),
+           eps=st.floats(min_value=5.0, max_value=200.0))
+    def test_absolute_max_guarantee(self, data, eps):
+        keys = np.sort(np.asarray(data[0], dtype=np.float64))
+        measures = np.asarray(data[1], dtype=np.float64)
+        index = PolyFitIndex.build(keys, measures, aggregate=Aggregate.MAX,
+                                   guarantee=Guarantee.absolute(eps))
+        brute = BruteForceAggregator(keys, measures)
+        low, high = float(keys[2]), float(keys[-3])
+        exact = brute.range_aggregate(low, high, Aggregate.MAX)
+        if np.isnan(exact):
+            return
+        result = index.query(RangeQuery(low, high, Aggregate.MAX))
+        assert abs(result.value - exact) <= eps + 1e-6
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=_dataset_strategy(min_size=15, max_size=50),
+           eps=st.floats(min_value=5.0, max_value=200.0))
+    def test_absolute_min_guarantee(self, data, eps):
+        keys = np.sort(np.asarray(data[0], dtype=np.float64))
+        measures = np.asarray(data[1], dtype=np.float64)
+        index = PolyFitIndex.build(keys, measures, aggregate=Aggregate.MIN,
+                                   guarantee=Guarantee.absolute(eps))
+        brute = BruteForceAggregator(keys, measures)
+        low, high = float(keys[2]), float(keys[-3])
+        exact = brute.range_aggregate(low, high, Aggregate.MIN)
+        if np.isnan(exact):
+            return
+        result = index.query(RangeQuery(low, high, Aggregate.MIN))
+        assert abs(result.value - exact) <= eps + 1e-6
+
+
+class TestStructuralProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(data=_dataset_strategy(), delta=st.floats(min_value=1.0, max_value=100.0))
+    def test_segments_partition_domain(self, data, delta):
+        keys = np.sort(np.asarray(data[0], dtype=np.float64))
+        index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=delta)
+        segments = index.segments
+        assert segments[0].start == 0
+        assert segments[-1].stop == keys.size
+        for previous, current in zip(segments, segments[1:]):
+            assert current.start == previous.stop
+            assert current.key_low > previous.key_high
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=_dataset_strategy())
+    def test_index_smaller_with_larger_delta(self, data):
+        keys = np.sort(np.asarray(data[0], dtype=np.float64))
+        tight = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=1.0)
+        loose = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=100.0)
+        assert loose.num_segments <= tight.num_segments
+        assert loose.size_in_bytes() <= tight.size_in_bytes()

@@ -1,0 +1,83 @@
+"""Property-based tests for the segmentation algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fitting import dp_segmentation, greedy_segmentation
+
+
+def _make_function(raw_keys, raw_steps):
+    """Build a sorted, strictly-increasing key array and a cumulative value array."""
+    keys = np.sort(np.asarray(raw_keys, dtype=np.float64))
+    keys = keys + np.arange(keys.size) * 1e-7  # break ties
+    values = np.cumsum(np.abs(np.asarray(raw_steps, dtype=np.float64)))
+    return keys, values
+
+
+_datasets = st.integers(min_value=3, max_value=20).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.floats(min_value=0, max_value=1e3, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        ),
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        ),
+    )
+)
+
+
+class TestGreedySegmentationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(data=_datasets, delta=st.floats(min_value=0.5, max_value=200),
+           degree=st.integers(min_value=1, max_value=2))
+    def test_budget_coverage_and_disjointness(self, data, delta, degree):
+        keys, values = _make_function(*data)
+        segments = greedy_segmentation(keys, values, delta=delta, degree=degree)
+        # Budget respected.
+        assert all(s.max_error <= delta + 1e-6 for s in segments)
+        # Full, disjoint coverage in order.
+        assert segments[0].start == 0 and segments[-1].stop == keys.size
+        for previous, current in zip(segments, segments[1:]):
+            assert current.start == previous.stop
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=_datasets, degree=st.integers(min_value=1, max_value=2))
+    def test_monotone_in_delta(self, data, degree):
+        keys, values = _make_function(*data)
+        tight = greedy_segmentation(keys, values, delta=1.0, degree=degree)
+        loose = greedy_segmentation(keys, values, delta=100.0, degree=degree)
+        assert len(tight) >= len(loose)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=_datasets, delta=st.floats(min_value=0.5, max_value=50))
+    def test_gs_is_optimal_vs_dp(self, data, delta):
+        keys, values = _make_function(*data)
+        gs = greedy_segmentation(keys, values, delta=delta, degree=1)
+        dp = dp_segmentation(keys, values, delta=delta, degree=1)
+        assert len(gs) == len(dp)
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=_datasets, delta=st.floats(min_value=0.5, max_value=50))
+    def test_exponential_and_linear_search_agree(self, data, delta):
+        keys, values = _make_function(*data)
+        fast = greedy_segmentation(keys, values, delta=delta, degree=1,
+                                   use_exponential_search=True)
+        slow = greedy_segmentation(keys, values, delta=delta, degree=1,
+                                   use_exponential_search=False)
+        assert [s.stop for s in fast] == [s.stop for s in slow]
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=_datasets, delta=st.floats(min_value=0.5, max_value=100))
+    def test_segment_polynomials_approximate_their_points(self, data, delta):
+        keys, values = _make_function(*data)
+        segments = greedy_segmentation(keys, values, delta=delta, degree=2)
+        for segment in segments:
+            seg_keys = keys[segment.start: segment.stop]
+            seg_values = values[segment.start: segment.stop]
+            residual = np.max(np.abs(seg_values - np.asarray(segment.polynomial(seg_keys))))
+            assert residual <= delta + 1e-6

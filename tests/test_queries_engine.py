@@ -1,0 +1,101 @@
+"""Tests for the query engine and accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    Guarantee,
+    QueryEngine,
+    QueryResult,
+    RangeQuery,
+    evaluate_accuracy,
+    generate_range_queries,
+)
+from repro.errors import QueryError
+
+
+class TestEvaluateAccuracy:
+    def test_perfect_results(self):
+        pairs = [(QueryResult(value=10.0), 10.0), (QueryResult(value=5.0), 5.0)]
+        report = evaluate_accuracy(pairs)
+        assert report.num_queries == 2
+        assert report.mean_absolute_error == 0.0
+        assert report.max_relative_error == 0.0
+        assert report.guarantee_violations == 0
+
+    def test_error_statistics(self):
+        pairs = [
+            (QueryResult(value=11.0), 10.0),   # abs err 1, rel 0.1
+            (QueryResult(value=8.0), 10.0),    # abs err 2, rel 0.2
+        ]
+        report = evaluate_accuracy(pairs)
+        assert report.mean_absolute_error == pytest.approx(1.5)
+        assert report.max_absolute_error == pytest.approx(2.0)
+        assert report.mean_relative_error == pytest.approx(0.15)
+        assert report.max_relative_error == pytest.approx(0.2)
+
+    def test_violation_counting(self):
+        guarantee = Guarantee.absolute(1.0)
+        pairs = [
+            (QueryResult(value=10.5, guaranteed=True), 10.0),
+            (QueryResult(value=15.0, guaranteed=True), 10.0),   # violated
+            (QueryResult(value=15.0, guaranteed=False), 10.0),  # not claimed
+        ]
+        report = evaluate_accuracy(pairs, guarantee)
+        assert report.guarantee_violations == 1
+
+    def test_fallback_rate(self):
+        pairs = [
+            (QueryResult(value=1.0, exact_fallback=True), 1.0),
+            (QueryResult(value=2.0), 2.0),
+        ]
+        assert evaluate_accuracy(pairs).fallback_rate == pytest.approx(0.5)
+
+    def test_zero_exact_skipped_in_relative(self):
+        pairs = [(QueryResult(value=0.5), 0.0)]
+        report = evaluate_accuracy(pairs)
+        assert report.max_absolute_error == 0.5
+
+    def test_nan_pair_treated_as_exact(self):
+        pairs = [(QueryResult(value=float("nan")), float("nan"))]
+        assert evaluate_accuracy(pairs).max_absolute_error == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            evaluate_accuracy([])
+
+
+class TestQueryEngine:
+    def test_engine_with_index(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        engine = QueryEngine(count_index.query, count_index.exact, name="PolyFit-2")
+        queries = generate_range_queries(keys, 40, Aggregate.COUNT, seed=1)
+        report = engine.accuracy(queries, Guarantee.absolute(100.0))
+        assert report.num_queries == 40
+        assert report.max_absolute_error <= 100.0 + 1e-6
+        assert report.guarantee_violations == 0
+
+    def test_engine_with_plain_float_method(self, tweet_small):
+        keys, _ = tweet_small
+
+        def exact(query: RangeQuery) -> float:
+            return float(np.count_nonzero((keys >= query.low) & (keys <= query.high)))
+
+        engine = QueryEngine(lambda q: exact(q) + 3.0, exact, name="offset")
+        queries = generate_range_queries(keys, 10, Aggregate.COUNT, seed=2)
+        report = engine.accuracy(queries)
+        assert report.max_absolute_error == pytest.approx(3.0)
+
+    def test_engine_rejects_empty_workload(self, count_index):
+        engine = QueryEngine(count_index.query, count_index.exact)
+        with pytest.raises(QueryError):
+            engine.run([])
+
+    def test_run_returns_pairs(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        engine = QueryEngine(count_index.query, count_index.exact)
+        queries = generate_range_queries(keys, 5, Aggregate.COUNT, seed=3)
+        pairs = engine.run(queries)
+        assert len(pairs) == 5
+        assert all(isinstance(result, QueryResult) for result, _ in pairs)

@@ -1,0 +1,83 @@
+"""Tests for query/result value types."""
+
+import pytest
+
+from repro import Aggregate, Guarantee, QueryResult, RangeQuery, RangeQuery2D
+from repro.config import GuaranteeKind
+from repro.errors import QueryError
+
+
+class TestGuarantee:
+    def test_absolute_factory(self):
+        guarantee = Guarantee.absolute(100.0)
+        assert guarantee.kind is GuaranteeKind.ABSOLUTE
+        assert guarantee.epsilon == 100.0
+
+    def test_relative_factory(self):
+        guarantee = Guarantee.relative(0.01)
+        assert guarantee.kind is GuaranteeKind.RELATIVE
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(QueryError):
+            Guarantee.absolute(0.0)
+        with pytest.raises(QueryError):
+            Guarantee.relative(-0.1)
+
+    def test_absolute_satisfied_by(self):
+        guarantee = Guarantee.absolute(10.0)
+        assert guarantee.satisfied_by(105.0, 100.0)
+        assert not guarantee.satisfied_by(115.0, 100.0)
+
+    def test_relative_satisfied_by(self):
+        guarantee = Guarantee.relative(0.1)
+        assert guarantee.satisfied_by(109.0, 100.0)
+        assert not guarantee.satisfied_by(120.0, 100.0)
+
+    def test_relative_zero_exact(self):
+        guarantee = Guarantee.relative(0.1)
+        assert guarantee.satisfied_by(0.0, 0.0)
+        assert not guarantee.satisfied_by(1.0, 0.0)
+
+
+class TestRangeQuery:
+    def test_valid_query(self):
+        query = RangeQuery(1.0, 5.0, Aggregate.SUM)
+        assert query.width == 4.0
+
+    def test_degenerate_range_allowed(self):
+        assert RangeQuery(2.0, 2.0, Aggregate.COUNT).width == 0.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery(5.0, 1.0, Aggregate.COUNT)
+
+    def test_frozen(self):
+        query = RangeQuery(1.0, 2.0, Aggregate.COUNT)
+        with pytest.raises(AttributeError):
+            query.low = 0.0  # type: ignore[misc]
+
+
+class TestRangeQuery2D:
+    def test_valid_rectangle(self):
+        query = RangeQuery2D(0.0, 2.0, 0.0, 3.0)
+        assert query.area == 6.0
+        assert query.aggregate is Aggregate.COUNT
+
+    def test_invalid_rectangle_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery2D(2.0, 0.0, 0.0, 1.0)
+        with pytest.raises(QueryError):
+            RangeQuery2D(0.0, 1.0, 5.0, 1.0)
+
+
+class TestQueryResult:
+    def test_defaults(self):
+        result = QueryResult(value=7.0)
+        assert result.guaranteed
+        assert not result.exact_fallback
+        assert result.error_bound is None
+
+    def test_fields(self):
+        result = QueryResult(value=1.0, guaranteed=False, exact_fallback=True, error_bound=3.0)
+        assert result.error_bound == 3.0
+        assert result.exact_fallback

@@ -1,0 +1,102 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, generate_range_queries, generate_rectangle_queries
+from repro.errors import DataError
+from repro.queries.workloads import WorkloadSpec
+
+
+class TestGenerateRangeQueries:
+    def test_count_and_validity(self):
+        keys = np.linspace(0, 100, 500)
+        queries = generate_range_queries(keys, 200, Aggregate.COUNT, seed=1)
+        assert len(queries) == 200
+        for query in queries:
+            assert query.low <= query.high
+            assert query.aggregate is Aggregate.COUNT
+
+    def test_endpoints_come_from_keys(self):
+        keys = np.array([1.0, 5.0, 9.0, 13.0])
+        queries = generate_range_queries(keys, 50, seed=2)
+        key_set = set(keys.tolist())
+        for query in queries:
+            assert query.low in key_set
+            assert query.high in key_set
+
+    def test_reproducible(self):
+        keys = np.linspace(0, 10, 100)
+        a = generate_range_queries(keys, 20, seed=3)
+        b = generate_range_queries(keys, 20, seed=3)
+        assert [(q.low, q.high) for q in a] == [(q.low, q.high) for q in b]
+
+    def test_min_width_fraction(self):
+        keys = np.linspace(0, 100, 1000)
+        queries = generate_range_queries(keys, 50, seed=4, min_width_fraction=0.2)
+        for query in queries:
+            assert query.width >= 20.0 - 1e-9
+
+    def test_rejects_too_few_keys(self):
+        with pytest.raises(DataError):
+            generate_range_queries(np.array([1.0]), 10)
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(DataError):
+            generate_range_queries(np.linspace(0, 1, 10), 0)
+
+    def test_rejects_bad_width_fraction(self):
+        with pytest.raises(DataError):
+            generate_range_queries(np.linspace(0, 1, 10), 5, min_width_fraction=1.0)
+
+
+class TestGenerateRectangleQueries:
+    def test_count_and_validity(self):
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(0, 100, size=400)
+        ys = rng.uniform(0, 50, size=400)
+        queries = generate_rectangle_queries(xs, ys, 100, seed=6)
+        assert len(queries) == 100
+        for query in queries:
+            assert query.x_low <= query.x_high
+            assert query.y_low <= query.y_high
+            assert xs.min() - 1e-9 <= query.x_low
+            assert query.x_high <= xs.max() + 1e-9
+
+    def test_extent_cap(self):
+        rng = np.random.default_rng(7)
+        xs = rng.uniform(0, 100, size=300)
+        ys = rng.uniform(0, 100, size=300)
+        queries = generate_rectangle_queries(xs, ys, 80, seed=8, max_extent_fraction=0.1)
+        x_span = xs.max() - xs.min()
+        for query in queries:
+            assert query.x_high - query.x_low <= 0.1 * x_span + 1e-9
+
+    def test_reproducible(self):
+        rng = np.random.default_rng(9)
+        xs = rng.uniform(0, 1, size=100)
+        ys = rng.uniform(0, 1, size=100)
+        a = generate_rectangle_queries(xs, ys, 10, seed=10)
+        b = generate_rectangle_queries(xs, ys, 10, seed=10)
+        assert [(q.x_low, q.y_high) for q in a] == [(q.x_low, q.y_high) for q in b]
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            generate_rectangle_queries(np.array([]), np.array([]), 10)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(DataError):
+            generate_rectangle_queries(np.array([1.0]), np.array([1.0, 2.0]), 10)
+
+    def test_rejects_bad_extent(self):
+        xs = np.linspace(0, 1, 10)
+        with pytest.raises(DataError):
+            generate_rectangle_queries(xs, xs, 10, max_extent_fraction=0.0)
+
+
+class TestWorkloadSpec:
+    def test_fields(self):
+        spec = WorkloadSpec(name="tweet-count", num_queries=1000,
+                            aggregate=Aggregate.COUNT, seed=123, dataset="tweet")
+        assert spec.name == "tweet-count"
+        assert spec.aggregate is Aggregate.COUNT
