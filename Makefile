@@ -1,0 +1,22 @@
+# Developer / CI entry points.
+#
+#   make tier1        - full test suite (the CI gate)
+#   make smoke-batch  - fast perf gate: batch/scalar equivalence plus a
+#                       throughput sanity check (~5 s); run before merging
+#                       changes that touch the query hot path
+#   make bench-batch  - full scalar-vs-batch throughput sweep, writes
+#                       BENCH_batch_throughput.json
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: tier1 smoke-batch bench-batch
+
+tier1:
+	$(PYTHON) -m pytest -x -q
+
+smoke-batch:
+	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py
+
+bench-batch:
+	$(PYTHON) benchmarks/bench_batch_throughput.py

@@ -1,0 +1,175 @@
+"""Scalar vs batch throughput across methods and workload sizes.
+
+The batch query subsystem answers a whole workload through flat-array
+evaluation (one ``searchsorted`` over all bounds, gathered coefficient rows,
+one vectorized Horner pass) instead of a per-query Python loop.  This driver
+measures queries/sec of both paths for PolyFit and the baselines, checks that
+the two paths agree to ``np.allclose``, and emits a structured
+``BENCH_batch_throughput.json`` artifact at the repository root.
+
+Methods whose structure has no flat layout (B+tree over a sample, S2
+sequential sampling) answer batches with a per-query loop; they are included
+so the comparison stays apples-to-apples, with their scalar pass measured on
+a capped subset to keep the driver fast.
+
+Run directly (``python benchmarks/bench_batch_throughput.py``) or through
+pytest (``pytest benchmarks/bench_batch_throughput.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import Aggregate, Guarantee, PolyFitIndex, generate_range_queries
+from repro.baselines import (
+    EquiWidthHistogram,
+    FITingTree,
+    KeyCumulativeArray,
+    RecursiveModelIndex,
+    SampledBTree,
+)
+from repro.bench import format_table, time_batch_per_query_ns, time_per_query_ns
+
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_batch_throughput.json"
+WORKLOAD_SIZES = [10_000, 100_000]
+#: Scalar passes of loop-batch methods are measured on at most this many
+#: queries (their per-query cost is workload-size independent).
+SCALAR_CAPS = {"S-tree": 2_000}
+
+
+def _measure(
+    name: str,
+    scalar_fn,
+    batch_fn,
+    queries,
+    lows: np.ndarray,
+    highs: np.ndarray,
+) -> dict:
+    """Time one method's scalar loop and batch call on one workload."""
+    cap = SCALAR_CAPS.get(name, len(queries))
+    scalar_queries = queries[:cap]
+    scalar = time_per_query_ns(
+        scalar_fn, scalar_queries, repeats=1, method=name, warmup=False
+    )
+    batch = time_batch_per_query_ns(
+        lambda: batch_fn(lows, highs), len(queries), repeats=2, method=name
+    )
+    scalar_values = np.array([scalar_fn(query) for query in scalar_queries], dtype=np.float64)
+    batch_values = np.asarray(batch_fn(lows, highs), dtype=np.float64)
+    allclose = bool(np.allclose(scalar_values, batch_values[:cap], equal_nan=True))
+    scalar_qps = 1e9 / scalar.per_query_ns
+    batch_qps = 1e9 / batch.per_query_ns
+    return {
+        "scalar_qps": round(scalar_qps),
+        "batch_qps": round(batch_qps),
+        "speedup": round(batch_qps / scalar_qps, 2),
+        "allclose": allclose,
+        "scalar_measured_on": cap,
+    }
+
+
+def run_benchmark(keys: np.ndarray, workload_sizes=WORKLOAD_SIZES) -> dict:
+    """Measure every method on every workload size; return the artifact dict."""
+    polyfit = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, guarantee=Guarantee.absolute(100.0))
+    kca = KeyCumulativeArray.build(keys, aggregate=Aggregate.COUNT)
+    fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=50.0)
+    rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 10, 100))
+    histogram = EquiWidthHistogram(keys, num_buckets=256)
+    stree = SampledBTree(keys, sample_fraction=0.01)
+
+    methods = {
+        "PolyFit-1D-COUNT": (
+            lambda q: polyfit.query(q).value,
+            lambda lo, hi: polyfit.query_batch(lo, hi).values,
+        ),
+        "Exact-KCA": (
+            lambda q: kca.range_aggregate(q.low, q.high),
+            kca.range_aggregate_batch,
+        ),
+        "FITing-Tree": (
+            lambda q: fiting.query(q).value,
+            lambda lo, hi: fiting.query_batch(lo, hi).values,
+        ),
+        "RMI": (
+            lambda q: rmi.query(q).value,
+            lambda lo, hi: rmi.query_batch(lo, hi).values,
+        ),
+        "Histogram": (
+            lambda q: histogram.range_estimate(q.low, q.high),
+            histogram.range_estimate_batch,
+        ),
+        "S-tree": (
+            lambda q: stree.range_estimate(q.low, q.high),
+            lambda lo, hi: stree.range_estimate_batch(lo, hi),
+        ),
+    }
+
+    results: dict = {
+        "description": "scalar vs batch queries/sec (COUNT, single key)",
+        "dataset_size": int(keys.size),
+        "workload_sizes": list(workload_sizes),
+        "methods": {name: {} for name in methods},
+    }
+    for num_queries in workload_sizes:
+        queries = generate_range_queries(keys, num_queries, Aggregate.COUNT, seed=271)
+        lows = np.fromiter((q.low for q in queries), dtype=np.float64, count=num_queries)
+        highs = np.fromiter((q.high for q in queries), dtype=np.float64, count=num_queries)
+        for name, (scalar_fn, batch_fn) in methods.items():
+            results["methods"][name][str(num_queries)] = _measure(
+                name, scalar_fn, batch_fn, queries, lows, highs
+            )
+    return results
+
+
+def _print_results(results: dict) -> None:
+    for num_queries in results["workload_sizes"]:
+        rows = []
+        for name, sizes in results["methods"].items():
+            entry = sizes[str(num_queries)]
+            rows.append(
+                [
+                    name,
+                    entry["scalar_qps"],
+                    entry["batch_qps"],
+                    f"{entry['speedup']}x",
+                    "yes" if entry["allclose"] else "NO",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["method", "scalar q/s", "batch q/s", "speedup", "allclose"],
+                rows,
+                title=f"Batch throughput, {num_queries} queries",
+            )
+        )
+
+
+def test_batch_throughput(tweet_data):
+    """Batch path is >= 10x scalar for PolyFit 1D COUNT on 100k queries."""
+    keys, _ = tweet_data
+    results = run_benchmark(keys)
+    _print_results(results)
+    ARTIFACT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nartifact written to {ARTIFACT_PATH}")
+
+    for name, sizes in results["methods"].items():
+        for entry in sizes.values():
+            assert entry["allclose"], f"{name}: batch answers diverge from scalar"
+    polyfit_100k = results["methods"]["PolyFit-1D-COUNT"][str(WORKLOAD_SIZES[-1])]
+    assert polyfit_100k["speedup"] >= 10.0, (
+        f"expected >= 10x batch speedup for PolyFit, got {polyfit_100k['speedup']}x"
+    )
+
+
+if __name__ == "__main__":
+    from repro.datasets import tweet_latitudes
+
+    dataset_keys, _ = tweet_latitudes(60_000, seed=101)
+    bench_results = run_benchmark(dataset_keys)
+    _print_results(bench_results)
+    ARTIFACT_PATH.write_text(json.dumps(bench_results, indent=2) + "\n")
+    print(f"\nartifact written to {ARTIFACT_PATH}")

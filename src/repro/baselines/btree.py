@@ -246,6 +246,24 @@ class BPlusTree:
             return float(min(values))
         raise QueryError(f"unsupported aggregate {aggregate!r}")
 
+    def range_aggregate_batch(
+        self, lows: np.ndarray, highs: np.ndarray, aggregate: str = "sum"
+    ) -> np.ndarray:
+        """Batch of :meth:`range_aggregate` calls.
+
+        A pointer-based B+tree has no flat-array layout to vectorize over, so
+        each query still walks the tree; the batch API exists so the bench
+        harness compares every method through the same interface.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != highs.shape:
+            raise QueryError("lows and highs must have matching shapes")
+        return np.array(
+            [self.range_aggregate(lows[i], highs[i], aggregate) for i in range(lows.size)],
+            dtype=np.float64,
+        )
+
     def keys(self) -> list[float]:
         """All keys in ascending order."""
         result: list[float] = []

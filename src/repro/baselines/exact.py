@@ -88,6 +88,26 @@ class KeyCumulativeArray:
         lower = float(self.cumulative[lo - 1]) if lo > 0 else 0.0
         return upper - lower
 
+    def evaluate_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`evaluate` (one ``searchsorted`` for all keys)."""
+        padded = np.concatenate(([0.0], self.cumulative))
+        return padded[np.searchsorted(self.keys, np.asarray(keys, dtype=np.float64), side="right")]
+
+    def range_aggregate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`range_aggregate` over N ranges in O(1) NumPy calls."""
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != highs.shape:
+            raise QueryError("lows and highs must have matching shapes")
+        if np.any(highs < lows):
+            raise QueryError("invalid range: high < low")
+        padded = np.concatenate(([0.0], self.cumulative))
+        # Empty ranges have identical insertion points on both sides, so the
+        # difference is exactly 0 — no special-casing needed.
+        upper = padded[np.searchsorted(self.keys, highs, side="right")]
+        lower = padded[np.searchsorted(self.keys, lows, side="left")]
+        return upper - lower
+
     def size_in_bytes(self) -> int:
         """Footprint of the stored arrays (8 bytes per float)."""
         return 8 * (self.keys.size + self.cumulative.size)
@@ -133,6 +153,24 @@ class BruteForceAggregator:
         if aggregate is Aggregate.MIN:
             return float(selected.min())
         raise QueryError(f"unsupported aggregate {aggregate}")
+
+    def range_aggregate_batch(
+        self, lows: np.ndarray, highs: np.ndarray, aggregate: Aggregate
+    ) -> np.ndarray:
+        """Batch of exact one-key aggregates.
+
+        A brute-force scan has no sublinear batch form; each query scans the
+        records, so this exists for API parity (and as the batch oracle in
+        tests), not for speed.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != highs.shape:
+            raise QueryError("lows and highs must have matching shapes")
+        return np.array(
+            [self.range_aggregate(lows[i], highs[i], aggregate) for i in range(lows.size)],
+            dtype=np.float64,
+        )
 
     def rectangle_aggregate(
         self,

@@ -21,7 +21,8 @@ import numpy as np
 from ..config import Aggregate, GuaranteeKind
 from ..errors import DataError, NotSupportedError
 from ..functions.cumulative import CumulativeFunction, build_cumulative_function
-from ..queries.types import Guarantee, QueryResult, RangeQuery
+from ..queries.batch import resolve_batch_certificates, validate_bounds_batch
+from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery
 
 __all__ = ["LinearSegment", "FITingTree"]
 
@@ -135,6 +136,10 @@ class FITingTree:
         self._cumulative = cumulative
         self._error_budget = float(error_budget)
         self._segment_lows = np.array([s.key_low for s in segments], dtype=np.float64)
+        # Flat per-segment parameter arrays for the vectorized batch path.
+        self._segment_highs = np.array([s.key_high for s in segments], dtype=np.float64)
+        self._slopes = np.array([s.slope for s in segments], dtype=np.float64)
+        self._intercepts = np.array([s.intercept for s in segments], dtype=np.float64)
 
     @classmethod
     def build(
@@ -151,6 +156,11 @@ class FITingTree:
         cumulative = build_cumulative_function(keys, measures, aggregate)
         segments = shrinking_cone_segmentation(cumulative.keys, cumulative.values, error_budget)
         return cls(segments=segments, cumulative=cumulative, error_budget=error_budget)
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """Aggregate the tree answers (used by the engine's batch checks)."""
+        return self._cumulative.aggregate
 
     @property
     def num_segments(self) -> int:
@@ -188,6 +198,49 @@ class FITingTree:
             raise NotSupportedError("aggregate mismatch")
         lower = 0.0 if query.low < self._segments[0].key_low else self.predict_cumulative(query.low)
         return self.predict_cumulative(query.high) - lower
+
+    def predict_cumulative_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`predict_cumulative`: segments are flat arrays, so
+        locating and evaluating N keys is one ``searchsorted`` plus a fused
+        multiply-add."""
+        keys = np.asarray(keys, dtype=np.float64)
+        position = np.clip(
+            np.searchsorted(self._segment_lows, keys, side="right") - 1,
+            0,
+            len(self._segments) - 1,
+        )
+        clamped = np.clip(keys, self._segment_lows[position], self._segment_highs[position])
+        return self._slopes[position] * (clamped - self._segment_lows[position]) + self._intercepts[
+            position
+        ]
+
+    def estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`estimate` over N ranges."""
+        lows, highs = validate_bounds_batch(lows, highs)
+        lower = np.where(
+            lows < self._segments[0].key_low, 0.0, self.predict_cumulative_batch(lows)
+        )
+        return self.predict_cumulative_batch(highs) - lower
+
+    def query_batch(
+        self, lows: np.ndarray, highs: np.ndarray, guarantee: Guarantee | None = None
+    ) -> BatchQueryResult:
+        """Batch counterpart of :meth:`query` (vectorized certificates).
+
+        Like the scalar path, an unmeetable absolute guarantee answers
+        exactly (absolute_fallback=True, unlike PolyFit).
+        """
+        lows, highs = validate_bounds_batch(lows, highs)
+        approx = self.estimate_batch(lows, highs)
+        return resolve_batch_certificates(
+            approx,
+            error_bound=2.0 * self._error_budget,
+            guarantee=guarantee,
+            exact_for_mask=lambda mask: self._cumulative.range_sum_batch(
+                lows[mask], highs[mask]
+            ),
+            absolute_fallback=True,
+        )
 
     def query(self, query: RangeQuery, guarantee: Guarantee | None = None) -> QueryResult:
         """Answer with PolyFit-style guarantee semantics (Lemmas 2-3)."""

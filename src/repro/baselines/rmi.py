@@ -23,7 +23,8 @@ import numpy as np
 from ..config import Aggregate, GuaranteeKind
 from ..errors import DataError, NotSupportedError, QueryError
 from ..functions.cumulative import CumulativeFunction, build_cumulative_function
-from ..queries.types import Guarantee, QueryResult, RangeQuery
+from ..queries.batch import resolve_batch_certificates, validate_bounds_batch
+from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery
 
 __all__ = ["LinearModel", "TinyMLP", "RecursiveModelIndex"]
 
@@ -185,6 +186,7 @@ class RecursiveModelIndex:
         self._stage_sizes = tuple(stage_sizes)
         self._model_factory = model_factory
         self._stages: list[list[object]] = []
+        self._stage_params: list[tuple[np.ndarray, np.ndarray]] | None = None
         self._leaf_errors: np.ndarray | None = None
         self._cumulative: CumulativeFunction | None = None
         self._aggregate = Aggregate.COUNT
@@ -257,9 +259,29 @@ class RecursiveModelIndex:
                 self._leaf_errors = leaf_errors
             assignments = next_assignments
 
+        # Flat per-stage parameter arrays for the vectorized batch path; only
+        # available when every model is a LinearModel (TinyMLP stages fall
+        # back to the per-key loop).
+        self._stage_params: list[tuple[np.ndarray, np.ndarray]] | None = []
+        for stage_models in self._stages:
+            if not all(isinstance(model, LinearModel) for model in stage_models):
+                self._stage_params = None
+                break
+            self._stage_params.append(
+                (
+                    np.array([model.slope for model in stage_models], dtype=np.float64),
+                    np.array([model.intercept for model in stage_models], dtype=np.float64),
+                )
+            )
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """Aggregate the index answers (used by the engine's batch checks)."""
+        return self._aggregate
 
     @property
     def max_error(self) -> float:
@@ -314,6 +336,61 @@ class RecursiveModelIndex:
         else:
             lower = self.predict_cumulative(query.low)
         return self.predict_cumulative(query.high) - lower
+
+    def predict_cumulative_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`predict_cumulative` for N keys at once.
+
+        With linear stages the model hierarchy flattens to per-stage
+        slope/intercept arrays: each stage is one gather plus one fused
+        multiply-add, so routing N keys costs O(stages) NumPy calls.  Mixed
+        or MLP stages fall back to the per-key loop.
+        """
+        if not self._stages or self._cumulative is None:
+            raise DataError("index not built")
+        keys = np.asarray(keys, dtype=np.float64)
+        if self._stage_params is None:
+            return np.array([self.predict_cumulative(float(k)) for k in keys], dtype=np.float64)
+        clipped = np.clip(keys, self._key_low, self._key_high)
+        values = self._cumulative.values
+        total_span = max(values[-1] - values[0], 1.0)
+        slopes, intercepts = self._stage_params[0]
+        prediction = slopes[0] * clipped + intercepts[0]
+        for stage_index in range(1, len(self._stages)):
+            stage_size = self._stage_sizes[stage_index]
+            routed = np.clip(
+                (prediction - values[0]) / total_span * stage_size, 0, stage_size - 1
+            ).astype(int)
+            slopes, intercepts = self._stage_params[stage_index]
+            prediction = slopes[routed] * clipped + intercepts[routed]
+        return prediction
+
+    def estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`estimate` over N ranges."""
+        lows, highs = validate_bounds_batch(lows, highs)
+        lower = np.where(lows < self._key_low, 0.0, self.predict_cumulative_batch(lows))
+        return self.predict_cumulative_batch(highs) - lower
+
+    def query_batch(
+        self, lows: np.ndarray, highs: np.ndarray, guarantee: Guarantee | None = None
+    ) -> BatchQueryResult:
+        """Batch counterpart of :meth:`query` (vectorized certificates).
+
+        Like the scalar path, an unmeetable absolute guarantee answers
+        exactly (absolute_fallback=True, unlike PolyFit).
+        """
+        if self._cumulative is None:
+            raise DataError("index not built")
+        lows, highs = validate_bounds_batch(lows, highs)
+        approx = self.estimate_batch(lows, highs)
+        return resolve_batch_certificates(
+            approx,
+            error_bound=2.0 * self.max_error,
+            guarantee=guarantee,
+            exact_for_mask=lambda mask: self._cumulative.range_sum_batch(
+                lows[mask], highs[mask]
+            ),
+            absolute_fallback=True,
+        )
 
     def query(self, query: RangeQuery, guarantee: Guarantee | None = None) -> QueryResult:
         """Answer with the same guarantee semantics as PolyFit.

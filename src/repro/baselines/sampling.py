@@ -162,6 +162,24 @@ class SequentialSampler:
         )
         return estimate
 
+    def range_estimate_batch(
+        self, lows: np.ndarray, highs: np.ndarray, aggregate: Aggregate = Aggregate.COUNT
+    ) -> np.ndarray:
+        """Batch of :meth:`range_estimate` calls.
+
+        S2's stopping rule is adaptive per query (the sample size depends on
+        the running confidence interval), so the batch form is a loop — the
+        honest apples-to-apples comparison for a method with no flat layout.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != highs.shape:
+            raise QueryError("lows and highs must have matching shapes")
+        return np.array(
+            [self.range_estimate(lows[i], highs[i], aggregate) for i in range(lows.size)],
+            dtype=np.float64,
+        )
+
     def sampled_records_for(self, low: float, high: float, aggregate: Aggregate = Aggregate.COUNT) -> int:
         """Number of samples the stopping rule consumed for this query."""
         _, sampled = self._estimate(
@@ -219,6 +237,15 @@ class SampledBTree:
         if aggregate not in (Aggregate.COUNT, Aggregate.SUM):
             raise NotSupportedError("S-tree supports COUNT and SUM only")
         raw = self._tree.range_aggregate(low, high, aggregate.value)
+        return raw * self._scale
+
+    def range_estimate_batch(
+        self, lows: np.ndarray, highs: np.ndarray, aggregate: Aggregate = Aggregate.COUNT
+    ) -> np.ndarray:
+        """Batch of :meth:`range_estimate` calls (per-query tree walks)."""
+        if aggregate not in (Aggregate.COUNT, Aggregate.SUM):
+            raise NotSupportedError("S-tree supports COUNT and SUM only")
+        raw = self._tree.range_aggregate_batch(lows, highs, aggregate.value)
         return raw * self._scale
 
     def size_in_bytes(self) -> int:

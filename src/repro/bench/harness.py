@@ -15,7 +15,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..errors import QueryError
 
-__all__ = ["MethodTiming", "time_per_query_ns", "time_callable_ns"]
+__all__ = ["MethodTiming", "time_per_query_ns", "time_batch_per_query_ns", "time_callable_ns"]
 
 
 @dataclass(frozen=True)
@@ -83,6 +83,44 @@ def time_per_query_ns(
         method=method,
         per_query_ns=best_total / len(queries),
         total_queries=len(queries),
+        repeats=repeats,
+    )
+
+
+def time_batch_per_query_ns(
+    run_batch: Callable[[], object],
+    num_queries: int,
+    *,
+    repeats: int = 3,
+    method: str = "method",
+    warmup: bool = True,
+) -> MethodTiming:
+    """Per-query latency of a method that answers a whole workload at once.
+
+    ``run_batch`` is a zero-argument callable answering all ``num_queries``
+    queries in one call (e.g. a closure over ``index.query_batch`` and the
+    prepared bound arrays).  The fastest of ``repeats`` passes is divided by
+    the workload size, making the result directly comparable with
+    :func:`time_per_query_ns` of the scalar loop.
+    """
+    if num_queries < 1:
+        raise QueryError("num_queries must be >= 1")
+    if repeats < 1:
+        raise QueryError("repeats must be >= 1")
+    if warmup:
+        run_batch()
+    best_total = None
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        run_batch()
+        elapsed = time.perf_counter_ns() - start
+        if best_total is None or elapsed < best_total:
+            best_total = elapsed
+    assert best_total is not None
+    return MethodTiming(
+        method=method,
+        per_query_ns=best_total / num_queries,
+        total_queries=num_queries,
         repeats=repeats,
     )
 

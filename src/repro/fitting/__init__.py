@@ -15,7 +15,7 @@ This package implements the curve-fitting machinery of PolyFit:
   (Section VI, Figure 13).
 """
 
-from .polynomial import Polynomial1D, Polynomial2D
+from .polynomial import Polynomial1D, Polynomial2D, PolynomialBank
 from .minimax import MinimaxFit, fit_minimax_polynomial, fit_lstsq_polynomial, fit_minimax_surface
 from .segmentation import Segment, greedy_segmentation, dp_segmentation, segment_count
 from .quadtree import QuadCell, build_quadtree_surface
@@ -23,6 +23,7 @@ from .quadtree import QuadCell, build_quadtree_surface
 __all__ = [
     "Polynomial1D",
     "Polynomial2D",
+    "PolynomialBank",
     "MinimaxFit",
     "fit_minimax_polynomial",
     "fit_lstsq_polynomial",

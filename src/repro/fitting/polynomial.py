@@ -11,12 +11,13 @@ callers always evaluate in raw key space.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import FittingError, QueryError
 
-__all__ = ["Polynomial1D", "Polynomial2D"]
+__all__ = ["Polynomial1D", "Polynomial2D", "PolynomialBank"]
 
 
 @dataclass(frozen=True)
@@ -150,6 +151,94 @@ class Polynomial1D:
     def num_parameters(self) -> int:
         """Number of stored float parameters (coefficients + scaling)."""
         return self.coeffs.size + 2
+
+
+class PolynomialBank:
+    """Flat coefficient-matrix layout over a family of :class:`Polynomial1D`.
+
+    Stores all coefficients of ``h`` polynomials in one contiguous
+    ``(h, width)`` matrix (rows zero-padded up to the largest degree) plus
+    ``(h,)`` shift/scale vectors, so a batch of evaluations — one polynomial
+    row per input key — runs as a single vectorized Horner recurrence over the
+    matrix columns instead of ``h`` Python-level calls.  This is the flat
+    array layout learned indexes (RMI, FITing-tree) use to reach their query
+    throughput, applied to PolyFit's per-segment polynomials.
+    """
+
+    __slots__ = ("_coeffs", "_shifts", "_scales")
+
+    def __init__(self, coeffs: np.ndarray, shifts: np.ndarray, scales: np.ndarray) -> None:
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.float64)
+        shifts = np.ascontiguousarray(shifts, dtype=np.float64)
+        scales = np.ascontiguousarray(scales, dtype=np.float64)
+        if coeffs.ndim != 2 or coeffs.shape[1] == 0:
+            raise FittingError("coefficient matrix must be 2-D with at least one column")
+        if shifts.shape != (coeffs.shape[0],) or scales.shape != (coeffs.shape[0],):
+            raise FittingError("shifts/scales must have one entry per polynomial row")
+        if not np.all(np.isfinite(coeffs)):
+            raise FittingError("coefficient matrix contains NaN or infinite values")
+        if np.any(scales <= 0):
+            raise FittingError("scales must be positive")
+        self._coeffs = coeffs
+        self._shifts = shifts
+        self._scales = scales
+
+    @classmethod
+    def from_polynomials(cls, polynomials: Sequence[Polynomial1D]) -> "PolynomialBank":
+        """Pack polynomials (possibly of mixed degree) into one flat matrix."""
+        if not polynomials:
+            raise FittingError("cannot build a bank from zero polynomials")
+        width = max(polynomial.coeffs.size for polynomial in polynomials)
+        coeffs = np.zeros((len(polynomials), width), dtype=np.float64)
+        shifts = np.empty(len(polynomials), dtype=np.float64)
+        scales = np.empty(len(polynomials), dtype=np.float64)
+        for row, polynomial in enumerate(polynomials):
+            coeffs[row, : polynomial.coeffs.size] = polynomial.coeffs
+            shifts[row] = polynomial.shift
+            scales[row] = polynomial.scale
+        return cls(coeffs=coeffs, shifts=shifts, scales=scales)
+
+    @property
+    def num_polynomials(self) -> int:
+        """Number of rows (polynomials) in the bank."""
+        return int(self._coeffs.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Columns of the coefficient matrix (max degree + 1)."""
+        return int(self._coeffs.shape[1])
+
+    @property
+    def coeffs(self) -> np.ndarray:
+        """The ``(h, width)`` coefficient matrix (read-only view)."""
+        view = self._coeffs.view()
+        view.flags.writeable = False
+        return view
+
+    def evaluate(self, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Evaluate ``polynomial[rows[i]](keys[i])`` for all ``i`` at once.
+
+        A single Horner recurrence over the gathered coefficient rows: for N
+        keys this costs ``width`` fused multiply-adds over length-N arrays —
+        O(1) NumPy calls regardless of N.  Zero padding in high-order columns
+        is harmless because Horner starts from the highest column.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        keys = np.asarray(keys, dtype=np.float64)
+        if rows.shape != keys.shape:
+            raise QueryError("rows and keys must have matching shapes")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_polynomials):
+            raise QueryError("polynomial row index out of range")
+        gathered = self._coeffs[rows]  # (N, width)
+        t = (keys - self._shifts[rows]) / self._scales[rows]
+        result = gathered[..., -1].copy()
+        for column in range(self.width - 2, -1, -1):
+            result = result * t + gathered[..., column]
+        return result
+
+    def size_in_bytes(self) -> int:
+        """Footprint of the flat arrays."""
+        return int(self._coeffs.nbytes + self._shifts.nbytes + self._scales.nbytes)
 
 
 def _total_degree_terms(degree: int) -> list[tuple[int, int]]:

@@ -99,6 +99,19 @@ class CumulativeFunction:
         lower = 0.0 if lower_idx == 0 else float(self.values[lower_idx - 1])
         return float(upper) - lower
 
+    def range_sum_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`range_sum` over N ranges in O(1) NumPy calls."""
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != highs.shape:
+            raise QueryError("lows and highs must have matching shapes")
+        if np.any(highs < lows):
+            raise QueryError("invalid range: high < low")
+        padded = np.concatenate(([0.0], self.values))
+        upper = padded[np.searchsorted(self.keys, highs, side="right")]
+        lower = padded[np.searchsorted(self.keys, lows, side="left")]
+        return upper - lower
+
     def slice_points(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
         """Return the (keys, values) points with indices in ``[start, stop)``."""
         if not 0 <= start <= stop <= self.size:

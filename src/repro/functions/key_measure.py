@@ -74,6 +74,29 @@ class KeyMeasureFunction:
             return float(window.max())
         return float(window.min())
 
+    def range_extreme_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Exact MAX/MIN over N ranges.
+
+        The index bounds are located with one vectorized ``searchsorted`` per
+        side; the per-range extreme itself is a window reduction, evaluated
+        per query (window sizes differ, so there is no single ufunc for it).
+        Empty ranges yield NaN, matching :meth:`range_extreme`.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != highs.shape:
+            raise QueryError("lows and highs must have matching shapes")
+        if np.any(highs < lows):
+            raise QueryError("invalid range: high < low")
+        lo = np.searchsorted(self.keys, lows, side="left")
+        hi = np.searchsorted(self.keys, highs, side="right")
+        reduce = np.max if self.aggregate is Aggregate.MAX else np.min
+        out = np.full(lows.shape, np.nan, dtype=np.float64)
+        for i in range(out.size):
+            if hi[i] > lo[i]:
+                out[i] = reduce(self.measures[lo[i]: hi[i]])
+        return out
+
     def slice_points(self, start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
         """Return the (keys, measures) points with indices in ``[start, stop)``."""
         if not 0 <= start <= stop <= self.size:

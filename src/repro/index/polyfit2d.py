@@ -21,7 +21,8 @@ from ..config import Aggregate, GuaranteeKind, QuadTreeConfig
 from ..errors import DataError, GuaranteeNotSatisfiedError, NotSupportedError, QueryError
 from ..fitting.quadtree import QuadCell, build_quadtree_surface
 from ..functions.cumulative2d import Cumulative2D, build_cumulative_2d
-from ..queries.types import Guarantee, QueryResult, RangeQuery2D
+from ..queries.batch import resolve_batch_certificates
+from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery2D
 from .guarantees import certified_absolute_bound, certify_relative, delta_for_absolute
 
 __all__ = ["PolyFit2DIndex"]
@@ -48,6 +49,9 @@ class PolyFit2DIndex:
         # Bounding box cached once; corner evaluation clamps against it on
         # every query and must not rescan the coordinate arrays.
         self._bounds = exact.bounds
+        # The certified bound is a construction-time constant; computing it
+        # once keeps it off the per-query hot path.
+        self._certified_bound = certified_absolute_bound(self._delta, aggregate, num_keys=2)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -183,6 +187,128 @@ class PolyFit2DIndex:
         """Exact rectangle count from the underlying cumulative structure."""
         return self._exact.range_count(query.x_low, query.x_high, query.y_low, query.y_high)
 
+    def _corner_batch(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Approximate ``CF`` at N corner points, grouped by quadtree leaf.
+
+        Each point still descends the quadtree individually (the tree is a
+        pointer structure), but all points landing in the same fitted leaf are
+        evaluated through that leaf's surface with one design-matrix product
+        instead of N scalar calls — the per-leaf analogue of the 1-D
+        coefficient-matrix layout.
+        """
+        xmin, xmax, ymin, ymax = self._bounds
+        us = np.asarray(us, dtype=np.float64)
+        vs = np.asarray(vs, dtype=np.float64)
+        zero = (us < xmin) | (vs < ymin)
+        cu = np.minimum(us, xmax)
+        cv = np.minimum(vs, ymax)
+        out = np.zeros(us.shape, dtype=np.float64)
+
+        groups: dict[int, tuple[QuadCell, list[int]]] = {}
+        locate = self._root.locate
+        for i in np.nonzero(~zero)[0]:
+            leaf = locate(cu[i], cv[i])
+            entry = groups.get(id(leaf))
+            if entry is None:
+                groups[id(leaf)] = (leaf, [int(i)])
+            else:
+                entry[1].append(int(i))
+        for leaf, positions in groups.values():
+            idx = np.asarray(positions, dtype=np.intp)
+            if leaf.is_exact:
+                pts_u, pts_v, cf = leaf.exact_points
+                distances = (pts_u[None, :] - cu[idx, None]) ** 2 + (
+                    pts_v[None, :] - cv[idx, None]
+                ) ** 2
+                out[idx] = cf[np.argmin(distances, axis=1)]
+            else:
+                out[idx] = leaf.surface(cu[idx], cv[idx])
+        return out
+
+    def estimate_batch(
+        self,
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+    ) -> np.ndarray:
+        """Approximate N rectangle aggregates by batched 4-corner evaluation."""
+        x_lows, x_highs, y_lows, y_highs = self._validate_rectangles(
+            x_lows, x_highs, y_lows, y_highs
+        )
+        n = x_lows.size
+        us = np.concatenate((x_highs, x_lows, x_highs, x_lows))
+        vs = np.concatenate((y_highs, y_highs, y_lows, y_lows))
+        corners = self._corner_batch(us, vs)
+        return corners[:n] - corners[n: 2 * n] - corners[2 * n: 3 * n] + corners[3 * n:]
+
+    def exact_batch(
+        self,
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+    ) -> np.ndarray:
+        """Exact rectangle aggregates for N queries (per-query evaluation)."""
+        x_lows, x_highs, y_lows, y_highs = self._validate_rectangles(
+            x_lows, x_highs, y_lows, y_highs
+        )
+        range_count = self._exact.range_count
+        return np.array(
+            [
+                range_count(x_lows[i], x_highs[i], y_lows[i], y_highs[i])
+                for i in range(x_lows.size)
+            ],
+            dtype=np.float64,
+        )
+
+    def query_batch(
+        self,
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+        guarantee: Guarantee | None = None,
+    ) -> BatchQueryResult:
+        """Answer N rectangle queries with the semantics of :meth:`query`.
+
+        Certificates are vectorized; only queries failing the Lemma 7
+        relative certificate take the masked exact-fallback pass.
+        """
+        x_lows, x_highs, y_lows, y_highs = self._validate_rectangles(
+            x_lows, x_highs, y_lows, y_highs
+        )
+        approx = self.estimate_batch(x_lows, x_highs, y_lows, y_highs)
+        # Same absolute-guarantee semantics as the scalar path: answer with
+        # the approximation flagged un-guaranteed when the build budget is too
+        # loose (absolute_fallback=False).
+        return resolve_batch_certificates(
+            approx,
+            error_bound=self._certified_bound,
+            guarantee=guarantee,
+            exact_for_mask=lambda mask: self.exact_batch(
+                x_lows[mask], x_highs[mask], y_lows[mask], y_highs[mask]
+            ),
+            absolute_fallback=False,
+        )
+
+    @staticmethod
+    def _validate_rectangles(
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        arrays = tuple(
+            np.atleast_1d(np.asarray(a, dtype=np.float64))
+            for a in (x_lows, x_highs, y_lows, y_highs)
+        )
+        if len({a.shape for a in arrays}) != 1 or arrays[0].ndim != 1:
+            raise QueryError("rectangle bound arrays must be equal-length 1-D arrays")
+        if np.any(arrays[1] < arrays[0]) or np.any(arrays[3] < arrays[2]):
+            raise QueryError("invalid rectangle bounds")
+        return arrays
+
     def query(self, query: RangeQuery2D, guarantee: Guarantee | None = None) -> QueryResult:
         """Answer an approximate rectangle query with guarantee handling.
 
@@ -191,7 +317,7 @@ class PolyFit2DIndex:
         Lemma 7 certificate with automatic exact fallback.
         """
         approx = self.estimate(query)
-        bound = certified_absolute_bound(self._delta, self._aggregate, num_keys=2)
+        bound = self._certified_bound
         if guarantee is None:
             return QueryResult(value=approx, guaranteed=True, error_bound=bound)
         if guarantee.kind is GuaranteeKind.ABSOLUTE:
@@ -206,7 +332,7 @@ class PolyFit2DIndex:
     def require_guarantee(self, query: RangeQuery2D, guarantee: Guarantee) -> float:
         """Answer and raise if the guarantee cannot be certified (no fallback)."""
         approx = self.estimate(query)
-        bound = certified_absolute_bound(self._delta, self._aggregate, num_keys=2)
+        bound = self._certified_bound
         if guarantee.kind is GuaranteeKind.ABSOLUTE:
             if bound > guarantee.epsilon + 1e-12:
                 raise GuaranteeNotSatisfiedError(

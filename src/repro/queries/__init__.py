@@ -1,21 +1,23 @@
 """Query types, workload generators and the evaluation engine."""
 
-from .types import RangeQuery, RangeQuery2D, QueryResult, Guarantee
+from .types import RangeQuery, RangeQuery2D, QueryResult, BatchQueryResult, Guarantee
 from .workloads import (
     generate_range_queries,
     generate_rectangle_queries,
     WorkloadSpec,
 )
-from .engine import QueryEngine, evaluate_accuracy
+from .engine import QueryEngine, evaluate_accuracy, queries_to_bounds
 
 __all__ = [
     "RangeQuery",
     "RangeQuery2D",
     "QueryResult",
+    "BatchQueryResult",
     "Guarantee",
     "generate_range_queries",
     "generate_rectangle_queries",
     "WorkloadSpec",
     "QueryEngine",
     "evaluate_accuracy",
+    "queries_to_bounds",
 ]

@@ -1,0 +1,94 @@
+"""Shared vectorized guarantee resolution for the batch query APIs.
+
+PolyFit (1D/2D), the RMI and the FITing-tree all answer batches with the
+same shape of logic: an absolute guarantee is a construction-time constant
+check, the relative-error certificate (Lemmas 3/5/7) is one array comparison
+``approx >= bound * (1 + 1/eps)``, and only the failing subset takes the
+masked exact pass.  Centralizing it here keeps the four implementations in
+lock-step with their scalar oracles — a certificate fix lands everywhere at
+once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..config import GuaranteeKind
+from ..errors import QueryError
+from .types import BatchQueryResult, Guarantee
+
+__all__ = ["validate_bounds_batch", "resolve_batch_certificates"]
+
+
+def validate_bounds_batch(
+    lows: np.ndarray, highs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce and validate batch range bounds (same checks as the scalar path)."""
+    lows = np.atleast_1d(np.asarray(lows, dtype=np.float64))
+    highs = np.atleast_1d(np.asarray(highs, dtype=np.float64))
+    if lows.ndim != 1 or lows.shape != highs.shape:
+        raise QueryError("lows and highs must be equal-length 1-D arrays")
+    if np.any(highs < lows):
+        raise QueryError("invalid range: high < low")
+    return lows, highs
+
+
+def resolve_batch_certificates(
+    approx: np.ndarray,
+    *,
+    error_bound: float,
+    guarantee: Guarantee | None,
+    exact_for_mask: Callable[[np.ndarray], np.ndarray],
+    absolute_fallback: bool,
+) -> BatchQueryResult:
+    """Apply guarantee semantics to a batch of approximate answers.
+
+    Parameters
+    ----------
+    approx:
+        The ``(N,)`` approximate answers.
+    error_bound:
+        The certified absolute bound ``c * delta`` of the answering structure.
+    guarantee:
+        The requested guarantee, or ``None`` for best-effort answers.
+    exact_for_mask:
+        Callable mapping a boolean mask to the exact answers of the selected
+        queries; invoked only for queries that need the exact fallback.
+    absolute_fallback:
+        What to do when an absolute guarantee cannot be met from the built
+        structure: ``True`` answers exactly (RMI/FITing-tree semantics),
+        ``False`` returns the approximation flagged un-guaranteed (PolyFit
+        semantics — the index was built with a looser budget than requested).
+
+    NaN approximations (empty MAX/MIN ranges) fail the relative certificate
+    comparison and take the exact path, matching the scalar implementations.
+    """
+    approx = np.asarray(approx, dtype=np.float64)
+    n = approx.size
+    bounds = np.full(n, error_bound, dtype=np.float64)
+    no_fallback = np.zeros(n, dtype=bool)
+
+    if guarantee is None:
+        return BatchQueryResult(approx, np.ones(n, dtype=bool), no_fallback, bounds)
+
+    if guarantee.kind is GuaranteeKind.ABSOLUTE:
+        if error_bound <= guarantee.epsilon + 1e-12:
+            return BatchQueryResult(approx, np.ones(n, dtype=bool), no_fallback, bounds)
+        if not absolute_fallback:
+            return BatchQueryResult(approx, np.zeros(n, dtype=bool), no_fallback, bounds)
+        everything = np.ones(n, dtype=bool)
+        return BatchQueryResult(
+            exact_for_mask(everything), everything, everything.copy(), np.zeros(n)
+        )
+
+    threshold = error_bound * (1.0 + 1.0 / guarantee.epsilon)
+    with np.errstate(invalid="ignore"):
+        certified = approx >= threshold
+    fallback = ~certified
+    values = approx.copy()
+    if np.any(fallback):
+        values[fallback] = exact_for_mask(fallback)
+        bounds[fallback] = 0.0
+    return BatchQueryResult(values, np.ones(n, dtype=bool), fallback, bounds)

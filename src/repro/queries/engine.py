@@ -2,9 +2,13 @@
 
 :class:`QueryEngine` wires together an approximate method and an exact oracle
 so experiments can run a workload once and collect both the approximate
-answers and their true errors.  :func:`evaluate_accuracy` summarizes the
-per-query errors (mean/median/max absolute and relative error, guarantee
-violation count), which is what the accuracy-oriented figures report.
+answers and their true errors.  When the method exposes a batch interface
+(``query_batch`` / ``exact_batch``, or explicit batch callables), the engine
+answers the whole workload through the vectorized path and falls back to the
+per-query loop otherwise — the scalar loop remains the correctness oracle.
+:func:`evaluate_accuracy` summarizes the per-query errors (mean/median/max
+absolute and relative error, guarantee violation count), which is what the
+accuracy-oriented figures report.
 """
 
 from __future__ import annotations
@@ -14,10 +18,36 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import QueryError
-from .types import Guarantee, QueryResult, RangeQuery, RangeQuery2D
+from ..config import Aggregate
+from ..errors import NotSupportedError, QueryError
+from .types import BatchQueryResult, Guarantee, QueryResult, RangeQuery, RangeQuery2D
 
-__all__ = ["QueryEngine", "AccuracyReport", "evaluate_accuracy"]
+__all__ = ["QueryEngine", "AccuracyReport", "evaluate_accuracy", "queries_to_bounds"]
+
+
+def queries_to_bounds(
+    queries: Sequence[RangeQuery | RangeQuery2D],
+) -> tuple[np.ndarray, ...]:
+    """Transpose a workload into flat bound arrays for the batch APIs.
+
+    One-key workloads become ``(lows, highs)``; two-key workloads become
+    ``(x_lows, x_highs, y_lows, y_highs)``.  Mixed workloads are rejected.
+    """
+    if not queries:
+        raise QueryError("empty workload")
+    if all(isinstance(query, RangeQuery) for query in queries):
+        lows = np.fromiter((query.low for query in queries), dtype=np.float64, count=len(queries))
+        highs = np.fromiter((query.high for query in queries), dtype=np.float64, count=len(queries))
+        return lows, highs
+    if all(isinstance(query, RangeQuery2D) for query in queries):
+        n = len(queries)
+        return (
+            np.fromiter((query.x_low for query in queries), dtype=np.float64, count=n),
+            np.fromiter((query.x_high for query in queries), dtype=np.float64, count=n),
+            np.fromiter((query.y_low for query in queries), dtype=np.float64, count=n),
+            np.fromiter((query.y_high for query in queries), dtype=np.float64, count=n),
+        )
+    raise QueryError("workload mixes one-key and two-key queries")
 
 
 @dataclass(frozen=True)
@@ -32,7 +62,8 @@ class AccuracyReport:
         Statistics of ``|approx - exact|``.
     mean_relative_error, median_relative_error, max_relative_error:
         Statistics of ``|approx - exact| / exact`` over queries with a
-        non-zero exact answer.
+        non-zero exact answer; NaN when no query has one (relative error is
+        undefined there, and reporting 0.0 would overstate accuracy).
     guarantee_violations:
         Number of queries whose result violated the requested guarantee
         (always 0 for correctly implemented guaranteed methods).
@@ -62,6 +93,18 @@ class QueryEngine:
         Callable mapping a query to the exact answer.
     name:
         Label used in reports.
+    approximate_batch:
+        Optional vectorized method: called with the flat bound arrays of the
+        whole workload (plus the guarantee when one is requested) and
+        returning a :class:`BatchQueryResult` or a plain ndarray of values.
+    exact_batch:
+        Optional vectorized oracle: called with the flat bound arrays and
+        returning an ndarray of exact answers.
+    expected_aggregate:
+        Aggregate the batch callables answer.  Batch calls drop the
+        per-query ``aggregate`` field (bounds only), so without this the
+        engine cannot reproduce the scalar path's aggregate-mismatch check;
+        :meth:`for_index` fills it from ``index.aggregate`` automatically.
     """
 
     def __init__(
@@ -69,19 +112,65 @@ class QueryEngine:
         approximate: Callable[..., QueryResult | float],
         exact: Callable[[RangeQuery | RangeQuery2D], float],
         name: str = "method",
+        *,
+        approximate_batch: Callable[..., BatchQueryResult | np.ndarray] | None = None,
+        exact_batch: Callable[..., np.ndarray] | None = None,
+        expected_aggregate: Aggregate | None = None,
     ) -> None:
         self._approximate = approximate
         self._exact = exact
+        self._approximate_batch = approximate_batch
+        self._exact_batch = exact_batch
+        self._expected_aggregate = expected_aggregate
         self.name = name
+
+    @classmethod
+    def for_index(cls, index: object, name: str = "method") -> "QueryEngine":
+        """Wire an engine from an index object, auto-detecting batch support.
+
+        Uses ``index.query`` / ``index.exact`` and, when present,
+        ``index.query_batch`` / ``index.exact_batch`` (the interface exposed
+        by :class:`~repro.index.PolyFitIndex`, :class:`PolyFit2DIndex`, the
+        RMI and the FITing-tree).
+        """
+        return cls(
+            approximate=index.query,  # type: ignore[attr-defined]
+            exact=index.exact,  # type: ignore[attr-defined]
+            name=name,
+            approximate_batch=getattr(index, "query_batch", None),
+            exact_batch=getattr(index, "exact_batch", None),
+            expected_aggregate=getattr(index, "aggregate", None),
+        )
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether a vectorized method callable is wired in."""
+        return self._approximate_batch is not None
 
     def run(
         self,
         queries: Sequence[RangeQuery | RangeQuery2D],
         guarantee: Guarantee | None = None,
+        *,
+        prefer_batch: bool = True,
     ) -> list[tuple[QueryResult, float]]:
-        """Evaluate all queries, returning (approximate result, exact answer) pairs."""
+        """Evaluate all queries, returning (approximate result, exact answer) pairs.
+
+        The batch path is used when available (and ``prefer_batch`` is kept);
+        pass ``prefer_batch=False`` to force the per-query loop, e.g. when
+        using the scalar path as the correctness oracle for the batch one.
+        """
         if not queries:
             raise QueryError("empty workload")
+        if prefer_batch and self._approximate_batch is not None:
+            return self._run_batch(queries, guarantee)
+        return self._run_scalar(queries, guarantee)
+
+    def _run_scalar(
+        self,
+        queries: Sequence[RangeQuery | RangeQuery2D],
+        guarantee: Guarantee | None,
+    ) -> list[tuple[QueryResult, float]]:
         results: list[tuple[QueryResult, float]] = []
         for query in queries:
             if guarantee is None:
@@ -92,6 +181,61 @@ class QueryEngine:
                 raw = QueryResult(value=float(raw), guaranteed=False)
             results.append((raw, float(self._exact(query))))
         return results
+
+    def _run_batch(
+        self,
+        queries: Sequence[RangeQuery | RangeQuery2D],
+        guarantee: Guarantee | None,
+    ) -> list[tuple[QueryResult, float]]:
+        # Batch calls carry only the bounds, so the per-query aggregate check
+        # the scalar path performs must happen here.
+        aggregates = {query.aggregate for query in queries}
+        if self._expected_aggregate is not None:
+            mismatched = aggregates - {self._expected_aggregate}
+            if mismatched:
+                raise NotSupportedError(
+                    f"method {self.name!r} answers {self._expected_aggregate.value} "
+                    f"queries, workload contains {sorted(a.value for a in mismatched)}"
+                )
+        elif len(aggregates) > 1:
+            # Unknown method aggregate and a heterogeneous workload: only the
+            # scalar path preserves each query's aggregate.
+            return self._run_scalar(queries, guarantee)
+        bounds = queries_to_bounds(queries)
+        assert self._approximate_batch is not None
+        if guarantee is None:
+            raw = self._approximate_batch(*bounds)
+        else:
+            raw = self._approximate_batch(*bounds, guarantee)
+        if isinstance(raw, BatchQueryResult):
+            results = raw.to_results()
+        else:
+            values = np.asarray(raw, dtype=np.float64)
+            results = [QueryResult(value=float(v), guaranteed=False) for v in values]
+        if len(results) != len(queries):
+            raise QueryError("batch method returned a mismatched number of answers")
+        if self._exact_batch is not None:
+            exacts = np.asarray(self._exact_batch(*bounds), dtype=np.float64)
+        else:
+            exacts = np.array([float(self._exact(query)) for query in queries])
+        return list(zip(results, exacts.tolist()))
+
+    def run_batch_raw(
+        self,
+        queries: Sequence[RangeQuery | RangeQuery2D],
+        guarantee: Guarantee | None = None,
+    ) -> BatchQueryResult | np.ndarray:
+        """The raw columnar batch answer, without per-query materialization.
+
+        This is the zero-overhead entry point the throughput benchmarks time;
+        :meth:`run` converts the same answer into (result, exact) pairs.
+        """
+        if self._approximate_batch is None:
+            raise QueryError(f"method {self.name!r} has no batch interface")
+        bounds = queries_to_bounds(queries)
+        if guarantee is None:
+            return self._approximate_batch(*bounds)
+        return self._approximate_batch(*bounds, guarantee)
 
     def accuracy(
         self,
@@ -128,14 +272,22 @@ def evaluate_accuracy(
         ):
             violations += 1
     absolute = np.asarray(absolute_errors, dtype=np.float64)
-    relative = np.asarray(relative_errors, dtype=np.float64) if relative_errors else np.zeros(1)
+    if relative_errors:
+        relative = np.asarray(relative_errors, dtype=np.float64)
+        mean_relative = float(relative.mean())
+        median_relative = float(np.median(relative))
+        max_relative = float(relative.max())
+    else:
+        # No query has a non-zero exact answer: relative error is undefined,
+        # and a 0.0 placeholder would read as "perfect accuracy".
+        mean_relative = median_relative = max_relative = float("nan")
     return AccuracyReport(
         num_queries=len(pairs),
         mean_absolute_error=float(absolute.mean()),
         max_absolute_error=float(absolute.max()),
-        mean_relative_error=float(relative.mean()),
-        median_relative_error=float(np.median(relative)),
-        max_relative_error=float(relative.max()),
+        mean_relative_error=mean_relative,
+        median_relative_error=median_relative,
+        max_relative_error=max_relative,
         guarantee_violations=violations,
         fallback_rate=fallbacks / len(pairs),
     )

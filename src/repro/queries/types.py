@@ -7,12 +7,14 @@ Problem 2) is carried alongside so the engine can certify or fall back.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..config import Aggregate, GuaranteeKind
 from ..errors import QueryError
 
-__all__ = ["Guarantee", "RangeQuery", "RangeQuery2D", "QueryResult"]
+__all__ = ["Guarantee", "RangeQuery", "RangeQuery2D", "QueryResult", "BatchQueryResult"]
 
 
 @dataclass(frozen=True)
@@ -115,3 +117,73 @@ class QueryResult:
     guaranteed: bool = True
     exact_fallback: bool = False
     error_bound: float | None = None
+
+
+# eq=False: the auto-generated __eq__ would compare ndarray fields with
+# ``==`` and raise on multi-element batches; identity comparison is the only
+# well-defined equality for columnar results.
+@dataclass(frozen=True, eq=False)
+class BatchQueryResult:
+    """Vectorized outcome of a batch of range aggregate queries.
+
+    Columnar counterpart of :class:`QueryResult`: one parallel array per
+    field, so a workload of N queries is answered and inspected without
+    materializing N Python objects.
+
+    Attributes
+    ----------
+    values:
+        ``(N,)`` answers (approximate except where ``exact_fallback``).
+    guaranteed:
+        ``(N,)`` bool — whether the requested guarantee is certified.
+    exact_fallback:
+        ``(N,)`` bool — queries answered by the exact method after the
+        relative-error certificate failed.
+    error_bounds:
+        ``(N,)`` certified absolute error bound per answer (0 for exact
+        fallbacks).
+    """
+
+    values: np.ndarray
+    guaranteed: np.ndarray
+    exact_fallback: np.ndarray
+    error_bounds: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "guaranteed", np.asarray(self.guaranteed, dtype=bool))
+        object.__setattr__(self, "exact_fallback", np.asarray(self.exact_fallback, dtype=bool))
+        bounds = self.error_bounds
+        if bounds is None:
+            bounds = np.full(values.shape, np.nan)
+        object.__setattr__(self, "error_bounds", np.asarray(bounds, dtype=np.float64))
+        if not (
+            self.guaranteed.shape
+            == self.exact_fallback.shape
+            == self.error_bounds.shape
+            == values.shape
+        ):
+            raise QueryError("batch result arrays must have identical shapes")
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of queries answered by the exact fallback."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.exact_fallback)) / self.values.size
+
+    def to_results(self) -> list[QueryResult]:
+        """Materialize per-query :class:`QueryResult` objects (scalar view)."""
+        return [
+            QueryResult(
+                value=float(self.values[i]),
+                guaranteed=bool(self.guaranteed[i]),
+                exact_fallback=bool(self.exact_fallback[i]),
+                error_bound=None if np.isnan(self.error_bounds[i]) else float(self.error_bounds[i]),
+            )
+            for i in range(self.values.size)
+        ]

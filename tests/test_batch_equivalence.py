@@ -1,0 +1,348 @@
+"""Property tests: every batch API matches its scalar path.
+
+The scalar per-query implementations are the correctness oracle; the batch
+(flat coefficient-matrix) implementations must agree with them to
+``np.allclose`` on every aggregate, including empty ranges, NaN MAX/MIN
+results, and the relative-guarantee exact-fallback paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    BatchQueryResult,
+    Guarantee,
+    PolyFitIndex,
+    Polynomial1D,
+    PolynomialBank,
+    QueryEngine,
+    RangeQuery,
+    generate_range_queries,
+    generate_rectangle_queries,
+)
+from repro.baselines import (
+    AggregateSegmentTree,
+    BPlusTree,
+    BruteForceAggregator,
+    EntropyHistogram,
+    EquiWidthHistogram,
+    FITingTree,
+    KeyCumulativeArray,
+    RecursiveModelIndex,
+    SampledBTree,
+)
+from repro.errors import QueryError
+from repro.queries import queries_to_bounds
+
+ALL_AGGREGATES = [Aggregate.COUNT, Aggregate.SUM, Aggregate.MAX, Aggregate.MIN]
+
+
+def _edge_case_ranges(keys: np.ndarray) -> list[tuple[float, float]]:
+    """Ranges exercising the corner cases of the snap-to-sample logic."""
+    lo, hi = float(keys[0]), float(keys[-1])
+    gap = float((keys[10] + keys[11]) / 2.0)  # strictly between two data keys
+    return [
+        (gap, gap),                  # empty range inside the key span
+        (lo - 10.0, lo - 5.0),       # entirely below the data
+        (hi + 5.0, hi + 10.0),       # entirely above the data
+        (lo, hi),                    # full span
+        (lo, lo),                    # single first key
+        (hi, hi),                    # single last key
+        (lo - 100.0, hi + 100.0),    # overshooting both ends
+    ]
+
+
+@pytest.fixture(scope="module", params=ALL_AGGREGATES, ids=lambda a: a.value)
+def aggregate_index(request, small_keys_measures):
+    """A small PolyFit index per aggregate, with its workload bounds."""
+    keys, measures = small_keys_measures
+    aggregate = request.param
+    index = PolyFitIndex.build(
+        keys,
+        None if aggregate is Aggregate.COUNT else measures,
+        aggregate=aggregate,
+        delta=25.0,
+    )
+    queries = generate_range_queries(keys, 80, aggregate, seed=31)
+    queries += [RangeQuery(low, high, aggregate) for low, high in _edge_case_ranges(keys)]
+    return index, queries
+
+
+class TestPolyFitBatchEquivalence:
+    def _bounds(self, queries):
+        return queries_to_bounds(queries)
+
+    def test_estimate_batch_matches_scalar(self, aggregate_index):
+        index, queries = aggregate_index
+        lows, highs = self._bounds(queries)
+        scalar = np.array([index.estimate(query) for query in queries])
+        batch = index.estimate_batch(lows, highs)
+        assert np.allclose(scalar, batch, equal_nan=True)
+
+    def test_exact_batch_matches_scalar(self, aggregate_index):
+        index, queries = aggregate_index
+        lows, highs = self._bounds(queries)
+        scalar = np.array([index.exact(query) for query in queries])
+        batch = index.exact_batch(lows, highs)
+        assert np.allclose(scalar, batch, equal_nan=True)
+
+    @pytest.mark.parametrize(
+        "guarantee",
+        [None, Guarantee.absolute(1000.0), Guarantee.absolute(1e-6), Guarantee.relative(0.01)],
+        ids=["none", "abs-loose", "abs-tight", "relative"],
+    )
+    def test_query_batch_matches_scalar(self, aggregate_index, guarantee):
+        index, queries = aggregate_index
+        lows, highs = self._bounds(queries)
+        batch = index.query_batch(lows, highs, guarantee)
+        assert isinstance(batch, BatchQueryResult)
+        assert len(batch) == len(queries)
+        for i, query in enumerate(queries):
+            scalar = index.query(query, guarantee)
+            assert np.isclose(scalar.value, batch.values[i], equal_nan=True)
+            assert scalar.guaranteed == bool(batch.guaranteed[i])
+            assert scalar.exact_fallback == bool(batch.exact_fallback[i])
+
+    def test_relative_guarantee_exercises_fallback(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        index = count_index
+        queries = generate_range_queries(keys, 120, Aggregate.COUNT, seed=37)
+        lows, highs = queries_to_bounds(queries)
+        batch = index.query_batch(lows, highs, Guarantee.relative(0.1))
+        # The workload must contain certified *and* fallback queries so both
+        # branches of the masked pass are actually tested.
+        assert 0 < int(batch.exact_fallback.sum()) < len(queries)
+        assert np.all(batch.guaranteed)
+        assert np.all(batch.error_bounds[batch.exact_fallback] == 0.0)
+
+    def test_invalid_bounds_rejected(self, count_index):
+        with pytest.raises(QueryError):
+            count_index.query_batch(np.array([5.0]), np.array([1.0]))
+        with pytest.raises(QueryError):
+            count_index.estimate_batch(np.array([1.0, 2.0]), np.array([3.0]))
+
+
+class TestPolyFit2DBatchEquivalence:
+    def test_estimate_and_query_batch_match_scalar(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        queries = generate_rectangle_queries(xs, ys, 60, seed=41)
+        x_lows, x_highs, y_lows, y_highs = queries_to_bounds(queries)
+        scalar = np.array([count2d_index.estimate(query) for query in queries])
+        batch = count2d_index.estimate_batch(x_lows, x_highs, y_lows, y_highs)
+        assert np.allclose(scalar, batch)
+
+        guarantee = Guarantee.relative(0.05)
+        batch_result = count2d_index.query_batch(x_lows, x_highs, y_lows, y_highs, guarantee)
+        for i, query in enumerate(queries):
+            result = count2d_index.query(query, guarantee)
+            assert np.isclose(result.value, batch_result.values[i])
+            assert result.exact_fallback == bool(batch_result.exact_fallback[i])
+
+    def test_exact_batch_matches_scalar(self, count2d_index, osm_small):
+        xs, ys = osm_small
+        queries = generate_rectangle_queries(xs, ys, 25, seed=43)
+        bounds = queries_to_bounds(queries)
+        scalar = np.array([count2d_index.exact(query) for query in queries])
+        assert np.allclose(scalar, count2d_index.exact_batch(*bounds))
+
+
+class TestPolynomialBank:
+    def test_mixed_degree_bank_matches_scalar_calls(self):
+        rng = np.random.default_rng(5)
+        polynomials = [
+            Polynomial1D(rng.normal(size=degree + 1), shift=rng.normal(), scale=1.0 + rng.uniform())
+            for degree in [0, 1, 2, 3, 3, 1]
+        ]
+        bank = PolynomialBank.from_polynomials(polynomials)
+        assert bank.num_polynomials == len(polynomials)
+        assert bank.width == 4
+        rows = rng.integers(0, len(polynomials), size=64)
+        keys = rng.uniform(-10, 10, size=64)
+        expected = np.array([polynomials[row](key) for row, key in zip(rows, keys)])
+        assert np.allclose(bank.evaluate(rows, keys), expected)
+
+    def test_row_out_of_range_rejected(self):
+        bank = PolynomialBank.from_polynomials([Polynomial1D(np.array([1.0, 2.0]))])
+        with pytest.raises(QueryError):
+            bank.evaluate(np.array([1]), np.array([0.0]))
+
+
+class TestBaselineBatchEquivalence:
+    @pytest.fixture(scope="class")
+    def dataset(self, small_keys_measures):
+        keys, measures = small_keys_measures
+        queries = generate_range_queries(keys, 60, Aggregate.COUNT, seed=53)
+        bounds = list(_edge_case_ranges(keys))
+        lows = np.array([q.low for q in queries] + [b[0] for b in bounds])
+        highs = np.array([q.high for q in queries] + [b[1] for b in bounds])
+        return keys, measures, lows, highs
+
+    def test_key_cumulative_array(self, dataset):
+        keys, measures, lows, highs = dataset
+        kca = KeyCumulativeArray.build(keys, measures, Aggregate.SUM)
+        scalar = [kca.range_aggregate(low, high) for low, high in zip(lows, highs)]
+        assert np.allclose(scalar, kca.range_aggregate_batch(lows, highs))
+        assert np.allclose(
+            [kca.evaluate(k) for k in lows], kca.evaluate_batch(lows)
+        )
+
+    def test_brute_force(self, dataset):
+        keys, measures, lows, highs = dataset
+        brute = BruteForceAggregator(keys, measures)
+        scalar = [brute.range_aggregate(low, high, Aggregate.SUM) for low, high in zip(lows, highs)]
+        assert np.allclose(scalar, brute.range_aggregate_batch(lows, highs, Aggregate.SUM))
+
+    def test_bplus_tree(self, dataset):
+        keys, measures, lows, highs = dataset
+        tree = BPlusTree.from_sorted(keys, measures)
+        scalar = [tree.range_aggregate(low, high, "sum") for low, high in zip(lows, highs)]
+        assert np.allclose(scalar, tree.range_aggregate_batch(lows, highs, "sum"))
+
+    @pytest.mark.parametrize("histogram_cls", [EquiWidthHistogram, EntropyHistogram])
+    def test_histograms(self, dataset, histogram_cls):
+        keys, measures, lows, highs = dataset
+        histogram = histogram_cls(keys, measures, num_buckets=32, aggregate=Aggregate.SUM)
+        scalar = [histogram.range_estimate(low, high) for low, high in zip(lows, highs)]
+        assert np.allclose(scalar, histogram.range_estimate_batch(lows, highs))
+
+    def test_sampled_btree(self, dataset):
+        keys, measures, lows, highs = dataset
+        stree = SampledBTree(keys, measures, sample_fraction=0.2)
+        scalar = [stree.range_estimate(low, high, Aggregate.SUM) for low, high in zip(lows, highs)]
+        assert np.allclose(scalar, stree.range_estimate_batch(lows, highs, Aggregate.SUM))
+
+    @pytest.mark.parametrize("aggregate", [Aggregate.MAX, Aggregate.MIN, Aggregate.SUM])
+    def test_aggregate_segment_tree(self, dataset, aggregate):
+        keys, measures, lows, highs = dataset
+        tree = AggregateSegmentTree(keys, measures, aggregate)
+        scalar = [tree.range_query(low, high) for low, high in zip(lows, highs)]
+        assert np.allclose(scalar, tree.range_query_batch(lows, highs), equal_nan=True)
+
+    @pytest.mark.parametrize(
+        "guarantee",
+        [None, Guarantee.absolute(1e-6), Guarantee.relative(0.01)],
+        ids=["none", "abs-tight", "relative"],
+    )
+    def test_fiting_tree_query_batch(self, dataset, guarantee):
+        keys, _, lows, highs = dataset
+        tree = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=10.0)
+        queries = [RangeQuery(low, high, Aggregate.COUNT) for low, high in zip(lows, highs)]
+        batch = tree.query_batch(lows, highs, guarantee)
+        for i, query in enumerate(queries):
+            scalar = tree.query(query, guarantee)
+            assert np.isclose(scalar.value, batch.values[i])
+            assert scalar.exact_fallback == bool(batch.exact_fallback[i])
+
+    @pytest.mark.parametrize(
+        "guarantee",
+        [None, Guarantee.absolute(1e-6), Guarantee.relative(0.01)],
+        ids=["none", "abs-tight", "relative"],
+    )
+    def test_rmi_query_batch(self, dataset, guarantee):
+        keys, _, lows, highs = dataset
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 4, 16))
+        queries = [RangeQuery(low, high, Aggregate.COUNT) for low, high in zip(lows, highs)]
+        batch = rmi.query_batch(lows, highs, guarantee)
+        for i, query in enumerate(queries):
+            scalar = rmi.query(query, guarantee)
+            assert np.isclose(scalar.value, batch.values[i])
+            assert scalar.exact_fallback == bool(batch.exact_fallback[i])
+
+    def test_inverted_ranges_rejected_like_scalar(self, dataset):
+        # The scalar paths raise on high < low (via RangeQuery validation);
+        # the batch entry points must do the same instead of silently
+        # returning negative "counts".
+        keys, _, _, _ = dataset
+        fiting = FITingTree.build(keys, aggregate=Aggregate.COUNT, error_budget=10.0)
+        rmi = RecursiveModelIndex.build(keys, stage_sizes=(1, 4, 16))
+        bad_lows, bad_highs = np.array([900.0]), np.array([100.0])
+        for method in (
+            fiting.estimate_batch,
+            fiting.query_batch,
+            rmi.estimate_batch,
+            rmi.query_batch,
+        ):
+            with pytest.raises(QueryError):
+                method(bad_lows, bad_highs)
+
+    def test_rmi_mlp_stage_falls_back_to_loop(self, dataset):
+        from repro.baselines.rmi import TinyMLP
+
+        keys, _, lows, highs = dataset
+        rmi = RecursiveModelIndex.build(
+            keys,
+            stage_sizes=(1, 2),
+            model_factory=lambda: TinyMLP(hidden_layers=(4,), epochs=20),
+        )
+        scalar = [rmi.predict_cumulative(float(k)) for k in lows[:10]]
+        assert np.allclose(scalar, rmi.predict_cumulative_batch(lows[:10]))
+
+
+class TestQueryEngineBatchPath:
+    def test_for_index_prefers_batch_and_matches_scalar(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        engine = QueryEngine.for_index(count_index, name="PolyFit-2")
+        assert engine.supports_batch
+        queries = generate_range_queries(keys, 50, Aggregate.COUNT, seed=61)
+        guarantee = Guarantee.relative(0.01)
+        batch_pairs = engine.run(queries, guarantee)
+        scalar_pairs = engine.run(queries, guarantee, prefer_batch=False)
+        for (batch_result, batch_exact), (scalar_result, scalar_exact) in zip(
+            batch_pairs, scalar_pairs
+        ):
+            assert np.isclose(batch_result.value, scalar_result.value)
+            assert batch_result.exact_fallback == scalar_result.exact_fallback
+            assert np.isclose(batch_exact, scalar_exact)
+
+    def test_accuracy_identical_between_paths(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        engine = QueryEngine.for_index(count_index)
+        queries = generate_range_queries(keys, 50, Aggregate.COUNT, seed=62)
+        batch_report = engine.accuracy(queries, Guarantee.absolute(100.0))
+        scalar_report = QueryEngine(count_index.query, count_index.exact).accuracy(
+            queries, Guarantee.absolute(100.0)
+        )
+        assert batch_report.mean_absolute_error == pytest.approx(
+            scalar_report.mean_absolute_error
+        )
+        assert batch_report.guarantee_violations == scalar_report.guarantee_violations
+
+    def test_run_batch_raw_returns_columnar_result(self, count_index, tweet_small):
+        keys, _ = tweet_small
+        engine = QueryEngine.for_index(count_index)
+        queries = generate_range_queries(keys, 20, Aggregate.COUNT, seed=63)
+        raw = engine.run_batch_raw(queries)
+        assert isinstance(raw, BatchQueryResult)
+        assert len(raw) == 20
+
+    def test_batch_path_rejects_aggregate_mismatch(self, count_index, tweet_small):
+        # The scalar path raises on a wrong-aggregate query; the batch path
+        # (which only ships bounds) must enforce the same check instead of
+        # silently answering with the index's own aggregate.
+        from repro.errors import NotSupportedError
+
+        keys, _ = tweet_small
+        engine = QueryEngine.for_index(count_index)
+        wrong = generate_range_queries(keys, 5, Aggregate.SUM, seed=66)
+        with pytest.raises(NotSupportedError):
+            engine.run(wrong)
+
+    def test_batch_result_equality_does_not_raise(self, count_index):
+        # frozen dataclass with ndarray fields: the generated __eq__ would
+        # raise "truth value of an array is ambiguous"; eq=False keeps
+        # identity semantics instead.
+        result = count_index.query_batch(np.array([0.0, 10.0]), np.array([5.0, 20.0]))
+        other = count_index.query_batch(np.array([0.0, 10.0]), np.array([5.0, 20.0]))
+        assert result == result
+        assert result != other
+
+    def test_queries_to_bounds_rejects_mixed_workloads(self, tweet_small, osm_small):
+        keys, _ = tweet_small
+        xs, ys = osm_small
+        one_key = generate_range_queries(keys, 2, Aggregate.COUNT, seed=64)
+        two_key = generate_rectangle_queries(xs, ys, 2, seed=65)
+        with pytest.raises(QueryError):
+            queries_to_bounds(one_key + two_key)

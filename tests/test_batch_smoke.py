@@ -1,0 +1,47 @@
+"""Tier-1 smoke check for the batch query subsystem's throughput.
+
+A perf regression that silently reverts the batch path to per-query work
+would still pass the equivalence tests, so this smoke check asserts a very
+conservative speedup floor (the real factor is 50-100x; 3x holds even on a
+heavily loaded CI machine) on a workload small enough to finish in a few
+seconds.  Run together with the equivalence tests via ``make smoke-batch``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Aggregate, Guarantee, PolyFitIndex, generate_range_queries
+from repro.bench import time_batch_per_query_ns, time_per_query_ns
+
+SMOKE_QUERIES = 5_000
+MIN_SPEEDUP = 3.0
+
+
+def test_batch_throughput_smoke(tweet_small):
+    """query_batch is comfortably faster than the scalar loop, same answers."""
+    keys, _ = tweet_small
+    index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=50.0)
+    guarantee = Guarantee.relative(0.01)
+    queries = generate_range_queries(keys, SMOKE_QUERIES, Aggregate.COUNT, seed=77)
+    lows = np.fromiter((q.low for q in queries), dtype=np.float64, count=SMOKE_QUERIES)
+    highs = np.fromiter((q.high for q in queries), dtype=np.float64, count=SMOKE_QUERIES)
+
+    scalar = time_per_query_ns(
+        lambda q: index.query(q, guarantee), queries, repeats=1, method="scalar", warmup=False
+    )
+    batch = time_batch_per_query_ns(
+        lambda: index.query_batch(lows, highs, guarantee),
+        SMOKE_QUERIES,
+        repeats=2,
+        method="batch",
+    )
+    speedup = scalar.per_query_ns / batch.per_query_ns
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch path only {speedup:.1f}x faster than scalar (floor {MIN_SPEEDUP}x); "
+        "did the batch path regress to per-query work?"
+    )
+
+    scalar_values = np.array([index.query(q, guarantee).value for q in queries])
+    batch_values = index.query_batch(lows, highs, guarantee).values
+    assert np.allclose(scalar_values, batch_values)

@@ -57,6 +57,16 @@ class TestEvaluateAccuracy:
         report = evaluate_accuracy(pairs)
         assert report.max_absolute_error == 0.5
 
+    def test_no_nonzero_exact_reports_nan_relative(self):
+        # Every exact answer is zero: relative error is undefined, and the
+        # report must say so (NaN) instead of claiming a perfect 0.0.
+        pairs = [(QueryResult(value=0.5), 0.0), (QueryResult(value=2.0), 0.0)]
+        report = evaluate_accuracy(pairs)
+        assert np.isnan(report.mean_relative_error)
+        assert np.isnan(report.median_relative_error)
+        assert np.isnan(report.max_relative_error)
+        assert report.max_absolute_error == 2.0
+
     def test_nan_pair_treated_as_exact(self):
         pairs = [(QueryResult(value=float("nan")), float("nan"))]
         assert evaluate_accuracy(pairs).max_absolute_error == 0.0
