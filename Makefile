@@ -1,10 +1,12 @@
 # Developer / CI entry points.
 #
 #   make tier1        - full test suite (the CI gate)
-#   make smoke-batch  - fast perf gate: batch/scalar equivalence plus a
-#                       throughput sanity check (~5 s); run before merging
-#                       changes that touch the query hot path
-#   make bench-batch  - full scalar-vs-batch throughput sweep, writes
+#   make smoke-batch  - fast perf gate: batch/scalar equivalence (1-D and
+#                       2-D, including the flat cell-directory property
+#                       tests) plus throughput sanity checks (~10 s); run
+#                       before merging changes that touch the query hot path
+#   make bench-batch  - full scalar-vs-batch throughput sweep (1-D methods
+#                       and the 2-D linearized-directory section), writes
 #                       BENCH_batch_throughput.json
 
 PYTHON ?= python
@@ -16,7 +18,7 @@ tier1:
 	$(PYTHON) -m pytest -x -q
 
 smoke-batch:
-	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py
+	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py tests/test_directory.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py

@@ -23,7 +23,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import Aggregate, Guarantee, PolyFitIndex, generate_range_queries
+from repro import (
+    Aggregate,
+    Guarantee,
+    PolyFit2DIndex,
+    PolyFitIndex,
+    generate_range_queries,
+    generate_rectangle_queries,
+)
 from repro.baselines import (
     EquiWidthHistogram,
     FITingTree,
@@ -32,12 +39,14 @@ from repro.baselines import (
     SampledBTree,
 )
 from repro.bench import format_table, time_batch_per_query_ns, time_per_query_ns
+from repro.queries import queries_to_bounds
 
 ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_batch_throughput.json"
 WORKLOAD_SIZES = [10_000, 100_000]
-#: Scalar passes of loop-batch methods are measured on at most this many
-#: queries (their per-query cost is workload-size independent).
-SCALAR_CAPS = {"S-tree": 2_000}
+#: Scalar passes of loop-batch (or per-query-descent) methods are measured on
+#: at most this many queries (their per-query cost is workload-size
+#: independent).
+SCALAR_CAPS = {"S-tree": 2_000, "PolyFit-2D-COUNT": 4_000}
 
 
 def _measure(
@@ -45,8 +54,7 @@ def _measure(
     scalar_fn,
     batch_fn,
     queries,
-    lows: np.ndarray,
-    highs: np.ndarray,
+    bounds: tuple[np.ndarray, ...],
 ) -> dict:
     """Time one method's scalar loop and batch call on one workload."""
     cap = SCALAR_CAPS.get(name, len(queries))
@@ -55,10 +63,10 @@ def _measure(
         scalar_fn, scalar_queries, repeats=1, method=name, warmup=False
     )
     batch = time_batch_per_query_ns(
-        lambda: batch_fn(lows, highs), len(queries), repeats=2, method=name
+        lambda: batch_fn(*bounds), len(queries), repeats=2, method=name
     )
     scalar_values = np.array([scalar_fn(query) for query in scalar_queries], dtype=np.float64)
-    batch_values = np.asarray(batch_fn(lows, highs), dtype=np.float64)
+    batch_values = np.asarray(batch_fn(*bounds), dtype=np.float64)
     allclose = bool(np.allclose(scalar_values, batch_values[:cap], equal_nan=True))
     scalar_qps = 1e9 / scalar.per_query_ns
     batch_qps = 1e9 / batch.per_query_ns
@@ -115,16 +123,53 @@ def run_benchmark(keys: np.ndarray, workload_sizes=WORKLOAD_SIZES) -> dict:
     }
     for num_queries in workload_sizes:
         queries = generate_range_queries(keys, num_queries, Aggregate.COUNT, seed=271)
-        lows = np.fromiter((q.low for q in queries), dtype=np.float64, count=num_queries)
-        highs = np.fromiter((q.high for q in queries), dtype=np.float64, count=num_queries)
+        bounds = queries_to_bounds(queries)
         for name, (scalar_fn, batch_fn) in methods.items():
             results["methods"][name][str(num_queries)] = _measure(
-                name, scalar_fn, batch_fn, queries, lows, highs
+                name, scalar_fn, batch_fn, queries, bounds
             )
     return results
 
 
-def _print_results(results: dict) -> None:
+def run_benchmark_2d(
+    xs: np.ndarray, ys: np.ndarray, workload_sizes=WORKLOAD_SIZES
+) -> dict:
+    """Two-key section: rectangle COUNT through the linearized leaf directory.
+
+    The scalar loop descends the pointer quadtree four times per query; the
+    batch path is the flat directory (Morton locate + gathered nested-Horner
+    pass), so the speedup column is exactly the leaf-location loop the
+    linear quadtree eliminated.
+    """
+    index = PolyFit2DIndex.build(
+        xs, ys, guarantee=Guarantee.absolute(1000.0), grid_resolution=128
+    )
+    methods = {
+        "PolyFit-2D-COUNT": (
+            lambda q: index.query(q).value,
+            lambda *bounds: index.query_batch(*bounds).values,
+        ),
+    }
+    results: dict = {
+        "description": "scalar vs batch queries/sec (COUNT, two keys)",
+        "dataset_size": int(xs.size),
+        "num_leaves": int(index.num_leaves),
+        "directory_depth": int(index.directory.depth),
+        "index_bytes": int(index.size_in_bytes()),
+        "workload_sizes": list(workload_sizes),
+        "methods": {name: {} for name in methods},
+    }
+    for num_queries in workload_sizes:
+        queries = generate_rectangle_queries(xs, ys, num_queries, seed=271)
+        bounds = queries_to_bounds(queries)
+        for name, (scalar_fn, batch_fn) in methods.items():
+            results["methods"][name][str(num_queries)] = _measure(
+                name, scalar_fn, batch_fn, queries, bounds
+            )
+    return results
+
+
+def _print_results(results: dict, label: str = "Batch throughput") -> None:
     for num_queries in results["workload_sizes"]:
         rows = []
         for name, sizes in results["methods"].items():
@@ -143,33 +188,50 @@ def _print_results(results: dict) -> None:
             format_table(
                 ["method", "scalar q/s", "batch q/s", "speedup", "allclose"],
                 rows,
-                title=f"Batch throughput, {num_queries} queries",
+                title=f"{label}, {num_queries} queries",
             )
         )
 
 
-def test_batch_throughput(tweet_data):
-    """Batch path is >= 10x scalar for PolyFit 1D COUNT on 100k queries."""
+def _write_artifact(one_key: dict, two_key: dict) -> None:
+    ARTIFACT_PATH.write_text(
+        json.dumps({**one_key, "two_key": two_key}, indent=2) + "\n"
+    )
+    print(f"\nartifact written to {ARTIFACT_PATH}")
+
+
+def test_batch_throughput(tweet_data, osm_data):
+    """Batch is >= 10x scalar for PolyFit COUNT (1-D and 2-D) on 100k queries."""
     keys, _ = tweet_data
     results = run_benchmark(keys)
     _print_results(results)
-    ARTIFACT_PATH.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"\nartifact written to {ARTIFACT_PATH}")
+    xs, ys = osm_data
+    results_2d = run_benchmark_2d(xs, ys)
+    _print_results(results_2d, label="Batch throughput (two keys)")
+    _write_artifact(results, results_2d)
 
-    for name, sizes in results["methods"].items():
-        for entry in sizes.values():
-            assert entry["allclose"], f"{name}: batch answers diverge from scalar"
+    for section in (results, results_2d):
+        for name, sizes in section["methods"].items():
+            for entry in sizes.values():
+                assert entry["allclose"], f"{name}: batch answers diverge from scalar"
     polyfit_100k = results["methods"]["PolyFit-1D-COUNT"][str(WORKLOAD_SIZES[-1])]
     assert polyfit_100k["speedup"] >= 10.0, (
         f"expected >= 10x batch speedup for PolyFit, got {polyfit_100k['speedup']}x"
     )
+    polyfit2d_100k = results_2d["methods"]["PolyFit-2D-COUNT"][str(WORKLOAD_SIZES[-1])]
+    assert polyfit2d_100k["speedup"] >= 10.0, (
+        f"expected >= 10x 2-D batch speedup over the per-corner descent, "
+        f"got {polyfit2d_100k['speedup']}x"
+    )
 
 
 if __name__ == "__main__":
-    from repro.datasets import tweet_latitudes
+    from repro.datasets import osm_points, tweet_latitudes
 
     dataset_keys, _ = tweet_latitudes(60_000, seed=101)
     bench_results = run_benchmark(dataset_keys)
     _print_results(bench_results)
-    ARTIFACT_PATH.write_text(json.dumps(bench_results, indent=2) + "\n")
-    print(f"\nartifact written to {ARTIFACT_PATH}")
+    points_x, points_y = osm_points(80_000, seed=103)
+    bench_results_2d = run_benchmark_2d(points_x, points_y)
+    _print_results(bench_results_2d, label="Batch throughput (two keys)")
+    _write_artifact(bench_results, bench_results_2d)

@@ -63,6 +63,9 @@ from .queries import (
     evaluate_accuracy,
 )
 from .index import (
+    CellDirectory,
+    SegmentDirectory,
+    QuadDirectory,
     PolyFitIndex,
     PolyFit2DIndex,
     save_index,
@@ -74,6 +77,7 @@ from .fitting import (
     Polynomial1D,
     Polynomial2D,
     PolynomialBank,
+    SurfaceBank,
     fit_minimax_polynomial,
     fit_lstsq_polynomial,
     fit_minimax_surface,
@@ -121,6 +125,9 @@ __all__ = [
     "QueryEngine",
     "evaluate_accuracy",
     # indexes
+    "CellDirectory",
+    "SegmentDirectory",
+    "QuadDirectory",
     "PolyFitIndex",
     "PolyFit2DIndex",
     "save_index",
@@ -131,6 +138,7 @@ __all__ = [
     "Polynomial1D",
     "Polynomial2D",
     "PolynomialBank",
+    "SurfaceBank",
     "fit_minimax_polynomial",
     "fit_lstsq_polynomial",
     "fit_minimax_surface",

@@ -15,7 +15,7 @@ This package implements the curve-fitting machinery of PolyFit:
   (Section VI, Figure 13).
 """
 
-from .polynomial import Polynomial1D, Polynomial2D, PolynomialBank
+from .polynomial import Polynomial1D, Polynomial2D, PolynomialBank, SurfaceBank
 from .minimax import MinimaxFit, fit_minimax_polynomial, fit_lstsq_polynomial, fit_minimax_surface
 from .segmentation import Segment, greedy_segmentation, dp_segmentation, segment_count
 from .quadtree import QuadCell, build_quadtree_surface
@@ -24,6 +24,7 @@ __all__ = [
     "Polynomial1D",
     "Polynomial2D",
     "PolynomialBank",
+    "SurfaceBank",
     "MinimaxFit",
     "fit_minimax_polynomial",
     "fit_lstsq_polynomial",

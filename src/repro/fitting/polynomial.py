@@ -17,7 +17,7 @@ import numpy as np
 
 from ..errors import FittingError, QueryError
 
-__all__ = ["Polynomial1D", "Polynomial2D", "PolynomialBank"]
+__all__ = ["Polynomial1D", "Polynomial2D", "PolynomialBank", "SurfaceBank"]
 
 
 @dataclass(frozen=True)
@@ -347,3 +347,142 @@ class Polynomial2D:
     def num_parameters(self) -> int:
         """Number of stored float parameters (coefficients + scaling)."""
         return self.coeffs.size + 4
+
+
+class SurfaceBank:
+    """Flat coefficient-tensor layout over a family of :class:`Polynomial2D`.
+
+    The bivariate analogue of :class:`PolynomialBank`: coefficients of ``h``
+    surfaces live in one contiguous ``(h, width, width)`` tensor where entry
+    ``[r, i, j]`` multiplies ``s**i * t**j`` (zero where ``i + j`` exceeds the
+    surface's total degree), plus per-row shift/scale vectors for both axes.
+    A batch of evaluations — one surface row per input point — runs as a
+    nested Horner recurrence over the gathered tensor rows: ``width**2`` fused
+    multiply-adds over length-N arrays, O(1) NumPy calls regardless of N.
+
+    Rows may be ``None`` (cells that answer exactly store no surface); such
+    rows are zero-filled and must never be selected by :meth:`evaluate`.
+    """
+
+    __slots__ = ("_coeffs", "_shift_u", "_scale_u", "_shift_v", "_scale_v")
+
+    def __init__(
+        self,
+        coeffs: np.ndarray,
+        shift_u: np.ndarray,
+        scale_u: np.ndarray,
+        shift_v: np.ndarray,
+        scale_v: np.ndarray,
+    ) -> None:
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.float64)
+        if coeffs.ndim != 3 or coeffs.shape[1] != coeffs.shape[2] or coeffs.shape[1] == 0:
+            raise FittingError("coefficient tensor must be (h, width, width) with width >= 1")
+        vectors = []
+        for vector in (shift_u, scale_u, shift_v, scale_v):
+            vector = np.ascontiguousarray(vector, dtype=np.float64)
+            if vector.shape != (coeffs.shape[0],):
+                raise FittingError("shift/scale vectors must have one entry per surface row")
+            vectors.append(vector)
+        if not np.all(np.isfinite(coeffs)):
+            raise FittingError("coefficient tensor contains NaN or infinite values")
+        if np.any(vectors[1] <= 0) or np.any(vectors[3] <= 0):
+            raise FittingError("scales must be positive")
+        self._coeffs = coeffs
+        self._shift_u, self._scale_u, self._shift_v, self._scale_v = vectors
+
+    @classmethod
+    def from_surfaces(cls, surfaces: Sequence[Polynomial2D | None]) -> "SurfaceBank":
+        """Pack surfaces (possibly of mixed degree, possibly absent) flat."""
+        if not surfaces:
+            raise FittingError("cannot build a bank from zero surfaces")
+        width = max((s.degree + 1 for s in surfaces if s is not None), default=1)
+        h = len(surfaces)
+        coeffs = np.zeros((h, width, width), dtype=np.float64)
+        shift_u = np.zeros(h, dtype=np.float64)
+        scale_u = np.ones(h, dtype=np.float64)
+        shift_v = np.zeros(h, dtype=np.float64)
+        scale_v = np.ones(h, dtype=np.float64)
+        for row, surface in enumerate(surfaces):
+            if surface is None:
+                continue
+            for coefficient, (i, j) in zip(surface.coeffs, surface.terms):
+                coeffs[row, i, j] = coefficient
+            shift_u[row] = surface.shift_u
+            scale_u[row] = surface.scale_u
+            shift_v[row] = surface.shift_v
+            scale_v[row] = surface.scale_v
+        return cls(coeffs, shift_u, scale_u, shift_v, scale_v)
+
+    @property
+    def num_surfaces(self) -> int:
+        """Number of rows (surfaces) in the bank."""
+        return int(self._coeffs.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Per-axis width of the coefficient tensor (max total degree + 1)."""
+        return int(self._coeffs.shape[1])
+
+    @property
+    def coeffs(self) -> np.ndarray:
+        """The ``(h, width, width)`` coefficient tensor (read-only view)."""
+        view = self._coeffs.view()
+        view.flags.writeable = False
+        return view
+
+    def evaluate(self, rows: np.ndarray, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Evaluate ``surface[rows[i]](us[i], vs[i])`` for all ``i`` at once.
+
+        Nested Horner: for every ``s`` power the inner recurrence collapses
+        the ``t`` axis, then the outer recurrence collapses the ``s`` axis.
+        Zero padding is harmless because Horner starts at the highest column.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        us = np.asarray(us, dtype=np.float64)
+        vs = np.asarray(vs, dtype=np.float64)
+        if rows.shape != us.shape or rows.shape != vs.shape:
+            raise QueryError("rows, us and vs must have matching shapes")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_surfaces):
+            raise QueryError("surface row index out of range")
+        gathered = self._coeffs[rows]  # (N, width, width)
+        s = (us - self._shift_u[rows]) / self._scale_u[rows]
+        t = (vs - self._shift_v[rows]) / self._scale_v[rows]
+        width = self.width
+        result = np.zeros_like(s)
+        for i in range(width - 1, -1, -1):
+            inner = gathered[..., i, width - 1].copy()
+            for j in range(width - 2, -1, -1):
+                inner = inner * t + gathered[..., i, j]
+            result = result * s + inner
+        return result
+
+    def size_in_bytes(self) -> int:
+        """Footprint of the flat arrays."""
+        return int(
+            self._coeffs.nbytes
+            + self._shift_u.nbytes
+            + self._scale_u.nbytes
+            + self._shift_v.nbytes
+            + self._scale_v.nbytes
+        )
+
+    def to_dict(self) -> dict:
+        """Serialize the flat arrays to plain Python types."""
+        return {
+            "coeffs": self._coeffs.tolist(),
+            "shift_u": self._shift_u.tolist(),
+            "scale_u": self._scale_u.tolist(),
+            "shift_v": self._shift_v.tolist(),
+            "scale_v": self._scale_v.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SurfaceBank":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            coeffs=np.asarray(payload["coeffs"], dtype=np.float64),
+            shift_u=np.asarray(payload["shift_u"], dtype=np.float64),
+            scale_u=np.asarray(payload["scale_u"], dtype=np.float64),
+            shift_v=np.asarray(payload["shift_v"], dtype=np.float64),
+            scale_v=np.asarray(payload["scale_v"], dtype=np.float64),
+        )

@@ -21,7 +21,11 @@ from ..errors import SegmentationError
 from .minimax import fit_minimax_surface
 from .polynomial import Polynomial2D
 
-__all__ = ["QuadCell", "build_quadtree_surface"]
+__all__ = ["QuadCell", "build_quadtree_surface", "linearize_quadtree"]
+
+#: Deepest quadtree supported by the 64-bit Morton codes of the linearized
+#: leaf directory (32 bits per axis).
+MAX_LINEARIZABLE_DEPTH = 32
 
 
 @dataclass
@@ -138,6 +142,73 @@ class QuadCell:
         elif self.surface is not None:
             own += self.surface.num_parameters
         return own + sum(child.num_parameters for child in self.children)
+
+
+def linearize_quadtree(root: QuadCell) -> tuple[list[QuadCell], np.ndarray, int]:
+    """Linearize the quadtree's leaves into Morton/Z-order (linear quadtree).
+
+    Walks the tree in child order (SW, SE, NW, NE) tracking each cell's
+    integer coordinates at its own depth; every leaf at depth ``d`` covers the
+    dyadic block ``[cx, cx+1) x [cy, cy+1)`` of the ``2^d x 2^d`` grid, which
+    at the finest leaf depth ``D`` becomes the contiguous Morton-code range
+    ``[interleave(cx << (D-d), cy << (D-d)), ... + 4^(D-d))``.  Because the
+    child order matches the bit interleave (x bit low, y bit high), the DFS
+    emits leaves with strictly increasing codes — the sorted key array a
+    ``searchsorted`` leaf directory needs.
+
+    Returns
+    -------
+    (leaves, codes, depth):
+        The leaves in Z-order, their ``uint64`` Morton keys (the code of each
+        leaf's lowest corner at depth ``depth``), and the finest leaf depth.
+    """
+    records: list[tuple[QuadCell, int, int, int]] = []
+
+    def walk(cell: QuadCell, cx: int, cy: int, depth: int) -> None:
+        if cell.is_leaf:
+            records.append((cell, cx, cy, depth))
+            return
+        if len(cell.children) != 4:
+            raise SegmentationError(
+                f"cannot linearize a quadtree node with {len(cell.children)} children"
+            )
+        for quadrant, child in enumerate(cell.children):
+            walk(child, 2 * cx + (quadrant & 1), 2 * cy + (quadrant >> 1), depth + 1)
+
+    walk(root, 0, 0, 0)
+    depth = max(record[3] for record in records)
+    if depth > MAX_LINEARIZABLE_DEPTH:
+        raise SegmentationError(
+            f"quadtree depth {depth} exceeds the Morton code budget "
+            f"({MAX_LINEARIZABLE_DEPTH} levels)"
+        )
+    leaves = [record[0] for record in records]
+    gx = np.array([cx << (depth - d) for _, cx, _, d in records], dtype=np.uint64)
+    gy = np.array([cy << (depth - d) for _, _, cy, d in records], dtype=np.uint64)
+    codes = morton_interleave2(gx, gy)
+    if codes.size > 1 and not np.all(codes[1:] > codes[:-1]):
+        raise SegmentationError("quadtree leaves are not in strict Z-order")
+    return leaves, codes, depth
+
+
+def morton_interleave2(gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
+    """Interleave two <=32-bit integer coordinate arrays into Morton codes.
+
+    Bit ``k`` of ``gx`` lands at position ``2k`` and bit ``k`` of ``gy`` at
+    ``2k + 1``, matching the quadtree's (SW, SE, NW, NE) child order: the
+    child index at every level is ``x_bit + 2 * y_bit``.
+    """
+
+    def spread(a: np.ndarray) -> np.ndarray:
+        a = a.astype(np.uint64) & np.uint64(0xFFFFFFFF)
+        a = (a | (a << np.uint64(16))) & np.uint64(0x0000FFFF0000FFFF)
+        a = (a | (a << np.uint64(8))) & np.uint64(0x00FF00FF00FF00FF)
+        a = (a | (a << np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+        a = (a | (a << np.uint64(2))) & np.uint64(0x3333333333333333)
+        a = (a | (a << np.uint64(1))) & np.uint64(0x5555555555555555)
+        return a
+
+    return spread(np.asarray(gx)) | (spread(np.asarray(gy)) << np.uint64(1))
 
 
 def build_quadtree_surface(

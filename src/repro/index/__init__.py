@@ -4,6 +4,11 @@
   Lemmas 2-7 (how a requested absolute/relative error budget translates into
   the per-segment fitting budget, and when a relative-error answer can be
   certified without falling back to the exact method).
+* :mod:`directory` — the shared flat cell-directory core: sorted locate
+  keys, cell boundaries, coefficient banks, exact markers and certified
+  error bounds as contiguous arrays, specialized for 1-D segment lists
+  (:class:`SegmentDirectory`) and Morton-linearized quadtree leaves
+  (:class:`QuadDirectory`).
 * :mod:`polyfit1d` — :class:`PolyFitIndex`, the one-key index supporting
   COUNT, SUM, MIN and MAX queries.
 * :mod:`polyfit2d` — :class:`PolyFit2DIndex`, the two-key COUNT/SUM index
@@ -11,6 +16,13 @@
 * :mod:`serialization` — JSON round-tripping of built indexes.
 """
 
+from .directory import (
+    CellDirectory,
+    QuadDirectory,
+    RangeExtremeTable,
+    SegmentDirectory,
+    SegmentExtremeDirectory,
+)
 from .guarantees import (
     delta_for_absolute,
     delta_for_relative,
@@ -23,6 +35,11 @@ from .polyfit2d import PolyFit2DIndex
 from .serialization import index_to_dict, index_from_dict, save_index, load_index
 
 __all__ = [
+    "CellDirectory",
+    "SegmentDirectory",
+    "QuadDirectory",
+    "RangeExtremeTable",
+    "SegmentExtremeDirectory",
     "delta_for_absolute",
     "delta_for_relative",
     "certify_relative",

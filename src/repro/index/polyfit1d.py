@@ -26,65 +26,26 @@ certificate fails.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from ..baselines.exact import KeyCumulativeArray
 from ..baselines.aggregate_tree import AggregateSegmentTree
 from ..config import Aggregate, FitConfig, IndexConfig, SegmentationConfig
 from ..errors import DataError, GuaranteeNotSatisfiedError, NotSupportedError, QueryError
-from ..fitting.polynomial import PolynomialBank
 from ..fitting.segmentation import Segment, greedy_segmentation
 from ..functions.cumulative import CumulativeFunction, build_cumulative_function
 from ..functions.key_measure import KeyMeasureFunction, build_key_measure_function
 from ..queries.batch import resolve_batch_certificates, validate_bounds_batch
 from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery
 from ..config import GuaranteeKind
+from .directory import SegmentDirectory
 from .guarantees import certified_absolute_bound, certify_relative, delta_for_absolute
 
 __all__ = ["PolyFitIndex"]
 
-
-@dataclass
-class _SegmentDirectory:
-    """Flat searchable directory over segment key spans."""
-
-    lows: np.ndarray
-    highs: np.ndarray
-    segments: list[Segment] = field(repr=False, default_factory=list)
-
-    @classmethod
-    def from_segments(cls, segments: list[Segment]) -> "_SegmentDirectory":
-        lows = np.array([segment.key_low for segment in segments], dtype=np.float64)
-        highs = np.array([segment.key_high for segment in segments], dtype=np.float64)
-        return cls(lows=lows, highs=highs, segments=list(segments))
-
-    def locate(self, key: float) -> int:
-        """Index of the segment whose span contains ``key``.
-
-        Keys falling in the gap between two segments (possible because the
-        sampled target function has gaps between consecutive data keys) map
-        to the earlier segment, matching step-function semantics.  Keys below
-        the first segment map to segment 0 and keys beyond the last segment
-        map to the last one.
-        """
-        position = int(np.searchsorted(self.lows, key, side="right")) - 1
-        return int(np.clip(position, 0, len(self.segments) - 1))
-
-    def locate_batch(self, keys: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`locate`: one ``searchsorted`` for all keys."""
-        positions = np.searchsorted(self.lows, keys, side="right") - 1
-        return np.clip(positions, 0, len(self.segments) - 1)
-
-    def covering_range(self, low: float, high: float) -> tuple[int, int]:
-        """Indices (first, last) of segments intersecting ``[low, high]``."""
-        first = self.locate(low)
-        last = self.locate(high)
-        return first, last
-
-    def __len__(self) -> int:
-        return len(self.segments)
+# Retained import name for older callers; the flat directory now lives in
+# repro.index.directory as the 1-D specialization of the shared cell core.
+_SegmentDirectory = SegmentDirectory
 
 
 class PolyFitIndex:
@@ -102,7 +63,7 @@ class PolyFitIndex:
         aggregate: Aggregate,
         delta: float,
         segments: list[Segment],
-        directory: _SegmentDirectory,
+        directory: SegmentDirectory,
         cumulative: CumulativeFunction | None,
         key_measure: KeyMeasureFunction | None,
         segment_extreme_tree: AggregateSegmentTree | None,
@@ -118,11 +79,6 @@ class PolyFitIndex:
         self._segment_extreme_tree = segment_extreme_tree
         self._exact_fallback = exact_fallback
         self._config = config
-        # Flat coefficient-matrix layout over all segment polynomials: batch
-        # queries evaluate gathered rows with one vectorized Horner pass.
-        self._bank = PolynomialBank.from_polynomials(
-            [segment.polynomial for segment in segments]
-        )
         # The certified bound depends only on construction-time quantities;
         # computing it once here keeps it off the per-query hot path.
         self._certified_bound = certified_absolute_bound(self._delta, aggregate, num_keys=1)
@@ -199,7 +155,7 @@ class PolyFitIndex:
             use_exponential_search=config.segmentation.method != "greedy",
             solver=config.fit.solver,
         )
-        directory = _SegmentDirectory.from_segments(segments)
+        directory = SegmentDirectory.from_segments(segments)
 
         segment_extreme_tree = None
         exact_fallback = None
@@ -302,8 +258,10 @@ class PolyFitIndex:
         Counts the stored float parameters (segment boundaries and polynomial
         coefficients, plus per-segment extremes for MAX/MIN) at 8 bytes each,
         mirroring how the paper reports index size (Figure 19).  The exact
-        fallback structure is excluded: it is the baseline structure every
-        method needs for uncertified relative queries.
+        fallback structure is excluded (it is the baseline structure every
+        method needs for uncertified relative queries), as is the lazily
+        built O(n) batch extreme payload — an optional acceleration cache,
+        not part of the learned index payload the figure compares.
         """
         floats = 0
         for segment in self._segments:
@@ -383,6 +341,10 @@ class PolyFitIndex:
         sizes differ per query).
         """
         lows, highs = validate_bounds_batch(lows, highs)
+        return self._estimate_batch_validated(lows, highs)
+
+    def _estimate_batch_validated(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Dispatch already-validated bound arrays to the batch evaluators."""
         if self._aggregate.is_cumulative:
             return self._approximate_cumulative_batch(lows, highs)
         return self._approximate_extreme_batch(lows, highs)
@@ -410,11 +372,7 @@ class PolyFitIndex:
         exact-fallback pass.  Queries inherit the index's aggregate.
         """
         lows, highs = validate_bounds_batch(lows, highs)
-        approx = (
-            self._approximate_cumulative_batch(lows, highs)
-            if self._aggregate.is_cumulative
-            else self._approximate_extreme_batch(lows, highs)
-        )
+        approx = self._estimate_batch_validated(lows, highs)
         # PolyFit semantics for an unmet absolute guarantee: answer with the
         # approximation flagged un-guaranteed (the index was built with a
         # looser budget), never the exact method (absolute_fallback=False).
@@ -479,7 +437,7 @@ class PolyFitIndex:
             (keys[np.clip(upper_idx, 0, None)], keys[np.clip(lower_idx, 0, None)])
         )
         rows = self._directory.locate_batch(sample_keys)
-        corner_values = self._bank.evaluate(rows, sample_keys)
+        corner_values = self._directory.bank.evaluate(rows, sample_keys)
         n = highs.size
         upper_values = np.where(upper_idx >= 0, corner_values[:n], 0.0)
         lower_values = np.where(lower_idx >= 0, corner_values[n:], 0.0)
@@ -541,17 +499,16 @@ class PolyFitIndex:
         return float(best)
 
     def _approximate_extreme_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
-        """Batch counterpart of :meth:`_approximate_extreme`.
+        """Batch counterpart of :meth:`_approximate_extreme` — O(1) NumPy calls.
 
-        Snapping to sampled keys and locating the covering segments is fully
-        vectorized; the boundary-segment evaluation and interior tree merge
-        then run per query, because each query reduces over a different-sized
-        key window.  The per-query work reuses the precomputed global index
-        bounds instead of re-searching inside each segment.
+        Snapping to sampled keys and locating the covering segments is two
+        ``searchsorted`` passes; the boundary-segment merges then come from
+        the directory's per-segment prefix/suffix extreme arrays (one gather
+        per side) and the fully covered interior from its range-extreme table
+        over the stored per-segment extremes — no per-query Python work.
         """
         assert self._key_measure is not None
         keys = self._key_measure.keys
-        measures_maximize = self._aggregate is Aggregate.MAX
         lo_idx = np.searchsorted(keys, lows, side="left")
         hi_idx = np.searchsorted(keys, highs, side="right") - 1
         out = np.full(lows.shape, np.nan, dtype=np.float64)
@@ -559,29 +516,27 @@ class PolyFitIndex:
         if not np.any(non_empty):
             return out
 
-        snapped_low = keys[np.clip(lo_idx, 0, keys.size - 1)]
-        snapped_high = keys[np.clip(hi_idx, 0, keys.size - 1)]
-        first = self._directory.locate_batch(snapped_low)
-        last = self._directory.locate_batch(snapped_high)
-        tree = self._segment_extreme_tree
-
-        for i in np.nonzero(non_empty)[0]:
-            best = -np.inf if measures_maximize else np.inf
-            for segment_index in {int(first[i]), int(last[i])}:
-                segment = self._segments[segment_index]
-                lo = max(segment.start, int(lo_idx[i]))
-                hi = min(segment.stop, int(hi_idx[i]) + 1)
-                if hi <= lo:
-                    continue
-                values = np.asarray(segment.polynomial(keys[lo:hi]))
-                extreme = float(values.max() if measures_maximize else values.min())
-                best = max(best, extreme) if measures_maximize else min(best, extreme)
-            if last[i] - first[i] > 1 and tree is not None:
-                covered = tree.range_extreme(int(first[i]) + 1, int(last[i]) - 1)
-                best = max(best, covered) if measures_maximize else min(best, covered)
-            if np.isfinite(best):
-                out[i] = best
+        lo = lo_idx[non_empty]
+        hi = hi_idx[non_empty]
+        first = self._directory.locate_batch(keys[lo])
+        last = self._directory.locate_batch(keys[hi])
+        extremes = self._extremes()
+        out[non_empty] = extremes.query(lo, hi, first, last)
         return out
+
+    def _extremes(self):
+        """The directory's extreme payload, built lazily on first batch use.
+
+        The prefix/suffix arrays and range-extreme tables are O(n) doubles —
+        a batch-only acceleration cache, so scalar-only users (and every
+        deserialization) never pay for it.
+        """
+        assert self._key_measure is not None
+        if self._directory.extremes is None:
+            self._directory.attach_extremes(
+                self._key_measure.keys, self._key_measure.measures, self._aggregate
+            )
+        return self._directory.extremes
 
     def _exact(self, query: RangeQuery) -> float:
         if self._aggregate.is_cumulative:

@@ -21,8 +21,9 @@ from ..config import Aggregate, GuaranteeKind, QuadTreeConfig
 from ..errors import DataError, GuaranteeNotSatisfiedError, NotSupportedError, QueryError
 from ..fitting.quadtree import QuadCell, build_quadtree_surface
 from ..functions.cumulative2d import Cumulative2D, build_cumulative_2d
-from ..queries.batch import resolve_batch_certificates
+from ..queries.batch import DEFAULT_TILE_SIZE, iter_tiles, resolve_batch_certificates
 from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery2D
+from .directory import QuadDirectory
 from .guarantees import certified_absolute_bound, certify_relative, delta_for_absolute
 
 __all__ = ["PolyFit2DIndex"]
@@ -39,6 +40,10 @@ class PolyFit2DIndex:
         aggregate: Aggregate,
         config: QuadTreeConfig,
         grid_resolution: int,
+        *,
+        directory: QuadDirectory | None = None,
+        grid: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+        tile_size: int = DEFAULT_TILE_SIZE,
     ) -> None:
         self._root = root
         self._exact = exact
@@ -46,9 +51,19 @@ class PolyFit2DIndex:
         self._aggregate = aggregate
         self._config = config
         self._grid_resolution = grid_resolution
+        self._tile_size = int(tile_size)
+        if self._tile_size < 1:
+            raise QueryError(f"tile_size must be >= 1, got {tile_size}")
         # Bounding box cached once; corner evaluation clamps against it on
         # every query and must not rescan the coordinate arrays.
         self._bounds = exact.bounds
+        # The read path runs on the linearized leaf directory (Morton-ordered
+        # flat arrays); the pointer tree above stays as the scalar oracle.
+        if directory is None:
+            if grid is None:
+                grid = exact.sample_grid(resolution=grid_resolution)
+            directory = QuadDirectory.from_quadtree(root, *grid)
+        self._directory = directory
         # The certified bound is a construction-time constant; computing it
         # once keeps it off the per-query hot path.
         self._certified_bound = certified_absolute_bound(self._delta, aggregate, num_keys=2)
@@ -123,6 +138,7 @@ class PolyFit2DIndex:
             aggregate=aggregate,
             config=config,
             grid_resolution=grid_resolution,
+            grid=(grid_x, grid_y, grid_cf),
         )
 
     # ------------------------------------------------------------------ #
@@ -154,9 +170,26 @@ class PolyFit2DIndex:
         """Quadtree configuration used at build time."""
         return self._config
 
+    @property
+    def directory(self) -> QuadDirectory:
+        """The linearized (Morton-ordered) flat leaf directory."""
+        return self._directory
+
+    @property
+    def grid_resolution(self) -> int:
+        """Resolution of the CF sample grid the surfaces were fitted on."""
+        return self._grid_resolution
+
     def size_in_bytes(self) -> int:
-        """Footprint of the quadtree payload (8 bytes per stored float)."""
-        return 8 * self._root.num_parameters
+        """Footprint of the flat leaf directory (8 bytes per stored float).
+
+        Counts what the index actually serves queries from: the Morton key
+        array, cell boundaries, certified error bounds, exact markers, the
+        coefficient tensor with its scaling vectors and the exact-cell
+        sample payload — not the pointer tree, which is only the build-time
+        scaffolding and scalar oracle.
+        """
+        return self._directory.size_in_bytes()
 
     # ------------------------------------------------------------------ #
     # Query answering
@@ -188,42 +221,22 @@ class PolyFit2DIndex:
         return self._exact.range_count(query.x_low, query.x_high, query.y_low, query.y_high)
 
     def _corner_batch(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
-        """Approximate ``CF`` at N corner points, grouped by quadtree leaf.
+        """Approximate ``CF`` at N corner points — pure NumPy, no descent loop.
 
-        Each point still descends the quadtree individually (the tree is a
-        pointer structure), but all points landing in the same fitted leaf are
-        evaluated through that leaf's surface with one design-matrix product
-        instead of N scalar calls — the per-leaf analogue of the 1-D
-        coefficient-matrix layout.
+        One vectorized Morton locate into the linearized leaf directory, one
+        gather of coefficient rows, one nested-Horner pass for fitted cells
+        and one nearest-grid-sample gather for exact cells.  Leaf location
+        never touches the pointer tree.
         """
         xmin, xmax, ymin, ymax = self._bounds
         us = np.asarray(us, dtype=np.float64)
         vs = np.asarray(vs, dtype=np.float64)
         zero = (us < xmin) | (vs < ymin)
-        cu = np.minimum(us, xmax)
-        cv = np.minimum(vs, ymax)
-        out = np.zeros(us.shape, dtype=np.float64)
-
-        groups: dict[int, tuple[QuadCell, list[int]]] = {}
-        locate = self._root.locate
-        for i in np.nonzero(~zero)[0]:
-            leaf = locate(cu[i], cv[i])
-            entry = groups.get(id(leaf))
-            if entry is None:
-                groups[id(leaf)] = (leaf, [int(i)])
-            else:
-                entry[1].append(int(i))
-        for leaf, positions in groups.values():
-            idx = np.asarray(positions, dtype=np.intp)
-            if leaf.is_exact:
-                pts_u, pts_v, cf = leaf.exact_points
-                distances = (pts_u[None, :] - cu[idx, None]) ** 2 + (
-                    pts_v[None, :] - cv[idx, None]
-                ) ** 2
-                out[idx] = cf[np.argmin(distances, axis=1)]
-            else:
-                out[idx] = leaf.surface(cu[idx], cv[idx])
-        return out
+        cu = np.clip(us, xmin, xmax)
+        cv = np.clip(vs, ymin, ymax)
+        rows = self._directory.locate_batch(cu, cv)
+        values = self._directory.evaluate_batch(rows, cu, cv)
+        return np.where(zero, 0.0, values)
 
     def estimate_batch(
         self,
@@ -232,15 +245,32 @@ class PolyFit2DIndex:
         y_lows: np.ndarray,
         y_highs: np.ndarray,
     ) -> np.ndarray:
-        """Approximate N rectangle aggregates by batched 4-corner evaluation."""
+        """Approximate N rectangle aggregates by batched 4-corner evaluation.
+
+        Large workloads are processed in tiles of ``tile_size`` queries so
+        the transient corner/gather arrays stay bounded regardless of N; the
+        tile loop runs once per tile, never per query.
+        """
         x_lows, x_highs, y_lows, y_highs = self._validate_rectangles(
             x_lows, x_highs, y_lows, y_highs
         )
         n = x_lows.size
-        us = np.concatenate((x_highs, x_lows, x_highs, x_lows))
-        vs = np.concatenate((y_highs, y_highs, y_lows, y_lows))
-        corners = self._corner_batch(us, vs)
-        return corners[:n] - corners[n: 2 * n] - corners[2 * n: 3 * n] + corners[3 * n:]
+        out = np.empty(n, dtype=np.float64)
+        for start, stop in iter_tiles(n, self._tile_size):
+            us = np.concatenate(
+                (x_highs[start:stop], x_lows[start:stop],
+                 x_highs[start:stop], x_lows[start:stop])
+            )
+            vs = np.concatenate(
+                (y_highs[start:stop], y_highs[start:stop],
+                 y_lows[start:stop], y_lows[start:stop])
+            )
+            corners = self._corner_batch(us, vs)
+            m = stop - start
+            out[start:stop] = (
+                corners[:m] - corners[m: 2 * m] - corners[2 * m: 3 * m] + corners[3 * m:]
+            )
+        return out
 
     def exact_batch(
         self,

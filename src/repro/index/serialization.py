@@ -6,6 +6,17 @@ exact-fallback structures are rebuilt from the stored target-function samples
 when needed, so serialization stores the segment payload plus the sampled
 target function.  This mirrors what a production deployment would persist:
 the compact learned payload plus the raw sorted data it summarizes.
+
+The two-key index persists the raw point set, the fitted quadtree (the
+build-time structure and scalar oracle) and the *flat leaf directory* —
+the Morton keys, cell boundaries, coefficient tensor, exact markers and
+certified error bounds — verbatim, so a loaded index serves batch queries
+from byte-identical arrays without re-linearizing the tree.  The CF sample
+grid exact cells reference is recomputed deterministically from the points.
+
+:func:`save_index` / :func:`load_index` and the dict converters dispatch on
+the index type (1-D payloads have no ``kind`` field for backward
+compatibility; 2-D payloads carry ``kind: "polyfit2d"``).
 """
 
 from __future__ import annotations
@@ -15,23 +26,48 @@ from pathlib import Path
 
 import numpy as np
 
-from ..config import Aggregate, FitConfig, IndexConfig, SegmentationConfig
-from ..errors import SerializationError
-from ..fitting.polynomial import Polynomial1D
+from ..config import Aggregate, FitConfig, IndexConfig, QuadTreeConfig, SegmentationConfig
+from ..errors import QueryError, SerializationError
+from ..fitting.polynomial import Polynomial1D, Polynomial2D
+from ..fitting.quadtree import QuadCell
 from ..fitting.segmentation import Segment
-from .polyfit1d import PolyFitIndex, _SegmentDirectory
+from .directory import QuadDirectory, SegmentDirectory
+from .polyfit1d import PolyFitIndex
+from .polyfit2d import PolyFit2DIndex
 from ..baselines.exact import KeyCumulativeArray
 from ..baselines.aggregate_tree import AggregateSegmentTree
 from ..functions.cumulative import CumulativeFunction
+from ..functions.cumulative2d import build_cumulative_2d
 from ..functions.key_measure import KeyMeasureFunction
 
 __all__ = ["index_to_dict", "index_from_dict", "save_index", "load_index"]
 
 _FORMAT_VERSION = 1
+_FORMAT_VERSION_2D = 1
 
 
-def index_to_dict(index: PolyFitIndex) -> dict:
-    """Serialize a one-key PolyFit index to a JSON-compatible dictionary."""
+def index_to_dict(index: PolyFitIndex | PolyFit2DIndex) -> dict:
+    """Serialize a PolyFit index (one- or two-key) to a JSON-compatible dict."""
+    if isinstance(index, PolyFit2DIndex):
+        return _index2d_to_dict(index)
+    return _index1d_to_dict(index)
+
+
+def index_from_dict(payload: dict) -> PolyFitIndex | PolyFit2DIndex:
+    """Rebuild a PolyFit index from :func:`index_to_dict` output."""
+    if not isinstance(payload, dict):
+        raise SerializationError(f"malformed index payload: {type(payload)!r}")
+    if payload.get("kind") == "polyfit2d":
+        return _index2d_from_dict(payload)
+    return _index1d_from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# One-key index
+# --------------------------------------------------------------------- #
+
+
+def _index1d_to_dict(index: PolyFitIndex) -> dict:
     segments_payload = [
         {
             "key_low": segment.key_low,
@@ -69,8 +105,7 @@ def index_to_dict(index: PolyFitIndex) -> dict:
     }
 
 
-def index_from_dict(payload: dict) -> PolyFitIndex:
-    """Rebuild a one-key PolyFit index from :func:`index_to_dict` output."""
+def _index1d_from_dict(payload: dict) -> PolyFitIndex:
     try:
         version = payload["format_version"]
         if version != _FORMAT_VERSION:
@@ -102,7 +137,7 @@ def index_from_dict(payload: dict) -> PolyFitIndex:
         segmentation=SegmentationConfig(delta=delta, method=method),
         fanout=fanout,
     )
-    directory = _SegmentDirectory.from_segments(segments)
+    directory = SegmentDirectory.from_segments(segments)
 
     cumulative = None
     key_measure = None
@@ -140,7 +175,128 @@ def index_from_dict(payload: dict) -> PolyFitIndex:
     )
 
 
-def save_index(index: PolyFitIndex, path: str | Path) -> None:
+# --------------------------------------------------------------------- #
+# Two-key index
+# --------------------------------------------------------------------- #
+
+
+def _quadcell_to_dict(cell: QuadCell) -> dict:
+    payload: dict = {
+        "x_low": cell.x_low,
+        "x_high": cell.x_high,
+        "y_low": cell.y_low,
+        "y_high": cell.y_high,
+        "depth": cell.depth,
+        "max_error": cell.max_error,
+        "surface": None if cell.surface is None else cell.surface.to_dict(),
+        "exact_points": None,
+        "children": [_quadcell_to_dict(child) for child in cell.children],
+    }
+    if cell.exact_points is not None:
+        us, vs, cf = cell.exact_points
+        payload["exact_points"] = [us.tolist(), vs.tolist(), cf.tolist()]
+    return payload
+
+
+def _quadcell_from_dict(payload: dict) -> QuadCell:
+    cell = QuadCell(
+        x_low=float(payload["x_low"]),
+        x_high=float(payload["x_high"]),
+        y_low=float(payload["y_low"]),
+        y_high=float(payload["y_high"]),
+        depth=int(payload["depth"]),
+        max_error=float(payload["max_error"]),
+    )
+    if payload["surface"] is not None:
+        cell.surface = Polynomial2D.from_dict(payload["surface"])
+    if payload["exact_points"] is not None:
+        us, vs, cf = payload["exact_points"]
+        cell.exact_points = (
+            np.asarray(us, dtype=np.float64),
+            np.asarray(vs, dtype=np.float64),
+            np.asarray(cf, dtype=np.float64),
+        )
+    cell.children = [_quadcell_from_dict(child) for child in payload["children"]]
+    return cell
+
+
+def _index2d_to_dict(index: PolyFit2DIndex) -> dict:
+    exact = index._exact  # noqa: SLF001 - serialization is a friend module
+    return {
+        "format_version": _FORMAT_VERSION_2D,
+        "kind": "polyfit2d",
+        "aggregate": index.aggregate.value,
+        "delta": index.delta,
+        "grid_resolution": index.grid_resolution,
+        "config": {
+            "delta": index.config.delta,
+            "max_depth": index.config.max_depth,
+            "min_cell_points": index.config.min_cell_points,
+            "degree": index.config.degree,
+        },
+        "points": {
+            "xs": exact.xs.tolist(),
+            "ys": exact.ys.tolist(),
+            "weights": None if exact.weights is None else exact.weights.tolist(),
+        },
+        "quadtree": _quadcell_to_dict(index._root),  # noqa: SLF001
+        "directory": index.directory.to_dict(),
+    }
+
+
+def _index2d_from_dict(payload: dict) -> PolyFit2DIndex:
+    try:
+        version = payload["format_version"]
+        if version != _FORMAT_VERSION_2D:
+            raise SerializationError(f"unsupported 2-D format version {version}")
+        aggregate = Aggregate(payload["aggregate"])
+        delta = float(payload["delta"])
+        grid_resolution = int(payload["grid_resolution"])
+        config_payload = payload["config"]
+        config = QuadTreeConfig(
+            delta=float(config_payload["delta"]),
+            max_depth=int(config_payload["max_depth"]),
+            min_cell_points=int(config_payload["min_cell_points"]),
+            degree=int(config_payload["degree"]),
+        )
+        points = payload["points"]
+        xs = np.asarray(points["xs"], dtype=np.float64)
+        ys = np.asarray(points["ys"], dtype=np.float64)
+        weights = points["weights"]
+        root = _quadcell_from_dict(payload["quadtree"])
+        directory_payload = payload["directory"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed 2-D index payload: {exc}") from exc
+
+    exact = build_cumulative_2d(
+        xs, ys, weights=None if weights is None else np.asarray(weights, dtype=np.float64)
+    )
+    # The CF sample grid is a pure function of the points and the resolution;
+    # recomputing it keeps the payload compact while the directory's flat
+    # arrays round-trip verbatim.
+    grid_x, grid_y, grid_cf = exact.sample_grid(resolution=grid_resolution)
+    try:
+        directory = QuadDirectory.from_dict(directory_payload, grid_x, grid_y, grid_cf)
+    except (KeyError, ValueError, TypeError, QueryError) as exc:
+        raise SerializationError(f"malformed 2-D directory payload: {exc}") from exc
+    return PolyFit2DIndex(
+        root=root,
+        exact=exact,
+        delta=delta,
+        aggregate=aggregate,
+        config=config,
+        grid_resolution=grid_resolution,
+        directory=directory,
+        grid=(grid_x, grid_y, grid_cf),
+    )
+
+
+# --------------------------------------------------------------------- #
+# File round-tripping
+# --------------------------------------------------------------------- #
+
+
+def save_index(index: PolyFitIndex | PolyFit2DIndex, path: str | Path) -> None:
     """Serialize ``index`` to a JSON file."""
     path = Path(path)
     try:
@@ -149,7 +305,7 @@ def save_index(index: PolyFitIndex, path: str | Path) -> None:
         raise SerializationError(f"cannot write index to {path}: {exc}") from exc
 
 
-def load_index(path: str | Path) -> PolyFitIndex:
+def load_index(path: str | Path) -> PolyFitIndex | PolyFit2DIndex:
     """Load an index previously written by :func:`save_index`."""
     path = Path(path)
     try:

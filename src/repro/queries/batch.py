@@ -11,7 +11,7 @@ once.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -19,7 +19,36 @@ from ..config import GuaranteeKind
 from ..errors import QueryError
 from .types import BatchQueryResult, Guarantee
 
-__all__ = ["validate_bounds_batch", "resolve_batch_certificates"]
+__all__ = [
+    "DEFAULT_TILE_SIZE",
+    "iter_tiles",
+    "validate_bounds_batch",
+    "resolve_batch_certificates",
+]
+
+#: Default number of queries per tile for batch paths that materialize
+#: per-query transient arrays (e.g. the 2-D 4-corner gather).  131072 queries
+#: keep every transient under a few tens of MiB while leaving the workload
+#: large enough that the per-call NumPy dispatch overhead stays amortized.
+DEFAULT_TILE_SIZE = 131_072
+
+
+def iter_tiles(total: int, tile_size: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` pairs covering ``range(total)`` in bounded tiles.
+
+    The batch engines use this to bound peak transient memory on very large
+    workloads: the tile loop runs ``ceil(total / tile_size)`` times, never
+    once per query.  Yields nothing for an empty workload.  A bad
+    ``tile_size`` is rejected eagerly at call time, not at first iteration.
+    """
+    if tile_size < 1:
+        raise QueryError(f"tile_size must be >= 1, got {tile_size}")
+
+    def tiles() -> Iterator[tuple[int, int]]:
+        for start in range(0, total, tile_size):
+            yield start, min(start + tile_size, total)
+
+    return tiles()
 
 
 def validate_bounds_batch(

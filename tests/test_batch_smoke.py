@@ -45,3 +45,41 @@ def test_batch_throughput_smoke(tweet_small):
     scalar_values = np.array([index.query(q, guarantee).value for q in queries])
     batch_values = index.query_batch(lows, highs, guarantee).values
     assert np.allclose(scalar_values, batch_values)
+
+
+def test_batch_throughput_smoke_2d(count2d_index, osm_small):
+    """2-D query_batch beats the per-query corner descent, same answers.
+
+    The batch path must stay on the linearized leaf directory (pure NumPy);
+    a regression to per-corner Python work would show up here as the speedup
+    collapsing toward 1x.
+    """
+    xs, ys = osm_small
+    from repro import generate_rectangle_queries
+    from repro.queries import queries_to_bounds
+
+    queries = generate_rectangle_queries(xs, ys, SMOKE_QUERIES, seed=79)
+    bounds = queries_to_bounds(queries)
+
+    scalar = time_per_query_ns(
+        lambda q: count2d_index.query(q).value,
+        queries[:1500],
+        repeats=1,
+        method="scalar-2d",
+        warmup=False,
+    )
+    batch = time_batch_per_query_ns(
+        lambda: count2d_index.query_batch(*bounds),
+        SMOKE_QUERIES,
+        repeats=2,
+        method="batch-2d",
+    )
+    speedup = scalar.per_query_ns / batch.per_query_ns
+    assert speedup >= MIN_SPEEDUP, (
+        f"2-D batch path only {speedup:.1f}x faster than scalar (floor {MIN_SPEEDUP}x); "
+        "did corner location regress to per-query descent?"
+    )
+
+    scalar_values = np.array([count2d_index.query(q).value for q in queries[:1500]])
+    batch_values = count2d_index.query_batch(*bounds).values
+    assert np.allclose(scalar_values, batch_values[:1500])
