@@ -1,24 +1,42 @@
 # Developer / CI entry points.
 #
 #   make tier1        - full test suite (the CI gate)
+#   make lint         - ruff check with the repo config (skips gracefully
+#                       when ruff is not installed; CI always installs it)
 #   make smoke-batch  - fast perf gate: batch/scalar equivalence (1-D and
 #                       2-D, including the flat cell-directory property
-#                       tests) plus throughput sanity checks (~10 s); run
-#                       before merging changes that touch the query hot path
+#                       tests), sharding/codec round-trips and the
+#                       scaled-down shard-scaling bench (which emits
+#                       BENCH_shard_scaling.json); run before merging
+#                       changes that touch the query hot path
 #   make bench-batch  - full scalar-vs-batch throughput sweep (1-D methods
 #                       and the 2-D linearized-directory section), writes
 #                       BENCH_batch_throughput.json
+#   make bench-shards - full shard-scaling + load-time protocol (1M-query
+#                       COUNT workload), writes BENCH_shard_scaling.json
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: tier1 smoke-batch bench-batch
+.PHONY: tier1 lint smoke-batch bench-batch bench-shards
 
 tier1:
 	$(PYTHON) -m pytest -x -q
 
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
+
 smoke-batch:
-	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py tests/test_directory.py
+	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py \
+		tests/test_directory.py tests/test_sharding.py tests/test_codec.py \
+		benchmarks/bench_shard_scaling.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
+
+bench-shards:
+	$(PYTHON) benchmarks/bench_shard_scaling.py

@@ -10,7 +10,6 @@ Run with:  python examples/method_comparison.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import (
     Aggregate,

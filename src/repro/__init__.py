@@ -28,8 +28,12 @@ layout (50-100x the throughput of the per-query loop):
 >>> batch.values.shape
 (3,)
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-reproduced tables and figures.
+Large workloads can additionally be fanned out across threads or processes
+with :class:`ShardedQueryEngine` (bit-identical to the serial path), and
+built indexes persist through either the portable JSON codec or the
+zero-copy binary codec (:func:`save_index_binary` / mmap loading).
+
+See README.md for the quickstart and benchmark entry points.
 """
 
 from .config import (
@@ -60,6 +64,7 @@ from .queries import (
     generate_range_queries,
     generate_rectangle_queries,
     QueryEngine,
+    ShardedQueryEngine,
     evaluate_accuracy,
 )
 from .index import (
@@ -70,6 +75,8 @@ from .index import (
     PolyFit2DIndex,
     save_index,
     load_index,
+    save_index_binary,
+    load_index_binary,
     index_to_dict,
     index_from_dict,
 )
@@ -123,6 +130,7 @@ __all__ = [
     "generate_range_queries",
     "generate_rectangle_queries",
     "QueryEngine",
+    "ShardedQueryEngine",
     "evaluate_accuracy",
     # indexes
     "CellDirectory",
@@ -132,6 +140,8 @@ __all__ = [
     "PolyFit2DIndex",
     "save_index",
     "load_index",
+    "save_index_binary",
+    "load_index_binary",
     "index_to_dict",
     "index_from_dict",
     # fitting

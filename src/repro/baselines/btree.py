@@ -9,7 +9,7 @@ optional per-leaf prefix cache.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 
 import numpy as np
 

@@ -5,13 +5,20 @@ timing in nanoseconds, parameter sweeps, and plain-text table formatting that
 mirrors the rows/series the paper reports.
 """
 
-from .harness import time_per_query_ns, time_batch_per_query_ns, time_callable_ns, MethodTiming
+from .harness import (
+    time_per_query_ns,
+    time_batch_per_query_ns,
+    time_callable_ns,
+    sweep_shard_counts,
+    MethodTiming,
+)
 from .reporting import format_table, format_series, ExperimentRecord, record_to_lines
 
 __all__ = [
     "time_per_query_ns",
     "time_batch_per_query_ns",
     "time_callable_ns",
+    "sweep_shard_counts",
     "MethodTiming",
     "format_table",
     "format_series",

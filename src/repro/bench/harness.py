@@ -11,11 +11,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from ..errors import QueryError
 
-__all__ = ["MethodTiming", "time_per_query_ns", "time_batch_per_query_ns", "time_callable_ns"]
+__all__ = [
+    "MethodTiming",
+    "time_per_query_ns",
+    "time_batch_per_query_ns",
+    "time_callable_ns",
+    "sweep_shard_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -123,6 +129,54 @@ def time_batch_per_query_ns(
         total_queries=num_queries,
         repeats=repeats,
     )
+
+
+def sweep_shard_counts(
+    index: object | None = None,
+    *,
+    index_path: str | None = None,
+    bounds: Sequence[object],
+    shard_counts: Sequence[int],
+    executor: str = "thread",
+    method: str = "estimate_batch",
+    repeats: int = 3,
+    min_queries_per_shard: int = 1,
+    mmap: bool = True,
+) -> dict[int, MethodTiming]:
+    """Time one batch method across shard counts — the ``num_shards`` knob.
+
+    For every entry of ``shard_counts`` a fresh
+    :class:`~repro.queries.sharding.ShardedQueryEngine` is built over
+    ``index`` (and/or a persisted ``index_path`` for process executors),
+    the chosen ``method`` is timed on the full ``bounds`` workload with
+    :func:`time_batch_per_query_ns`, and the engine's pool is torn down
+    before the next count runs.  ``min_queries_per_shard`` defaults to 1 so
+    the sweep always exercises the parallel path being measured.
+    """
+    from ..queries.sharding import ShardedQueryEngine
+
+    num_queries = len(bounds[0])
+    timings: dict[int, MethodTiming] = {}
+    for count in shard_counts:
+        engine = ShardedQueryEngine(
+            index=index,
+            index_path=index_path,
+            num_shards=count,
+            executor=executor,
+            min_queries_per_shard=min_queries_per_shard,
+            mmap=mmap,
+        )
+        run_batch = getattr(engine, method)
+        try:
+            timings[count] = time_batch_per_query_ns(
+                lambda: run_batch(*bounds),
+                num_queries,
+                repeats=repeats,
+                method=f"{method}[shards={count},{executor}]",
+            )
+        finally:
+            engine.close()
+    return timings
 
 
 def time_callable_ns(function: Callable[[], object], *, repeats: int = 1) -> float:

@@ -466,6 +466,27 @@ class SurfaceBank:
             + self._scale_v.nbytes
         )
 
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The flat arrays by field name (shared layout with the binary codec)."""
+        return {
+            "coeffs": self._coeffs,
+            "shift_u": self._shift_u,
+            "scale_u": self._scale_u,
+            "shift_v": self._shift_v,
+            "scale_v": self._scale_v,
+        }
+
+    @classmethod
+    def from_arrays(cls, arrays: dict) -> "SurfaceBank":
+        """Rebuild a bank directly from its flat arrays (inverse of :meth:`to_arrays`)."""
+        return cls(
+            coeffs=arrays["coeffs"],
+            shift_u=arrays["shift_u"],
+            scale_u=arrays["scale_u"],
+            shift_v=arrays["shift_v"],
+            scale_v=arrays["scale_v"],
+        )
+
     def to_dict(self) -> dict:
         """Serialize the flat arrays to plain Python types."""
         return {

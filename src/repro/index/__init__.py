@@ -14,6 +14,9 @@
 * :mod:`polyfit2d` — :class:`PolyFit2DIndex`, the two-key COUNT/SUM index
   built on quadtree-segmented polynomial surfaces.
 * :mod:`serialization` — JSON round-tripping of built indexes.
+* :mod:`codec` — the zero-copy binary format: one mappable raw-buffer file
+  per index, loaded with ``mmap`` so shard worker processes share the
+  directory pages instead of re-parsing floats.
 """
 
 from .directory import (
@@ -33,8 +36,11 @@ from .guarantees import (
 from .polyfit1d import PolyFitIndex
 from .polyfit2d import PolyFit2DIndex
 from .serialization import index_to_dict, index_from_dict, save_index, load_index
+from .codec import save_index_binary, load_index_binary
 
 __all__ = [
+    "save_index_binary",
+    "load_index_binary",
     "CellDirectory",
     "SegmentDirectory",
     "QuadDirectory",

@@ -1,0 +1,386 @@
+"""Zero-copy binary codec for built PolyFit indexes.
+
+The JSON codec (:mod:`repro.index.serialization`) is portable but pays a
+float-parsing pass proportional to the dataset on every load.  This module
+persists the same payload as one *raw-buffer* file that memory-maps:
+
+``magic (8 bytes) | header length (uint64 LE) | JSON header | array blobs``
+
+The JSON header carries the scalar metadata (aggregate, delta, configs, the
+pointer-quadtree oracle for 2-D) plus an array table mapping each array name
+to its offset, shape and dtype; every blob is stored C-contiguous and
+64-byte aligned.  :func:`load_index_binary` maps the file once with
+``numpy.memmap(mode="r")`` and materializes each array as a zero-copy view
+into the mapping, so the flat cell-directory arrays the batch query path
+reads (locate keys, cell bounds, coefficient tensors, the sampled target
+function / CF grid) are backed directly by page cache.  Worker processes of
+a :class:`~repro.queries.sharding.ShardedQueryEngine` that open the same
+file therefore *share* those pages instead of each re-parsing floats —
+process-level sharding of a read-only directory costs no extra memory.
+
+A plain ``.npz`` archive was rejected for this role on purpose: npz is a
+zip container, so ``numpy.load(..., mmap_mode="r")`` silently falls back to
+eager reads.  The raw-buffer layout keeps the mmap guarantee while staying
+within one file.
+
+:func:`save_index_binary` / :func:`load_index_binary` are also reachable
+through :func:`repro.index.serialization.save_index` (``format="binary"``
+or a ``.pfbin`` suffix) and :func:`~repro.index.serialization.load_index`,
+which sniffs the magic bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from ..config import Aggregate, QuadTreeConfig
+from ..errors import SerializationError
+from ..fitting.polynomial import Polynomial1D, SurfaceBank
+from ..fitting.segmentation import Segment
+from ..functions.cumulative2d import Cumulative2D
+from .directory import QuadDirectory
+from .polyfit1d import PolyFitIndex
+from .polyfit2d import PolyFit2DIndex
+
+__all__ = [
+    "BINARY_MAGIC",
+    "write_array_store",
+    "read_array_store",
+    "save_index_binary",
+    "load_index_binary",
+]
+
+#: Leading bytes of every PolyFit binary index file (includes the container
+#: version; bump the trailing byte on incompatible layout changes).
+BINARY_MAGIC = b"PFITBIN\x01"
+
+#: Blob alignment in bytes.  64 covers every dtype alignment requirement and
+#: keeps each array cache-line aligned inside the mapping.
+_ALIGNMENT = 64
+
+_BINARY_FORMAT_VERSION = 1
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+# --------------------------------------------------------------------- #
+# Generic array store
+# --------------------------------------------------------------------- #
+
+
+def write_array_store(path: str | Path, arrays: dict[str, np.ndarray], meta: dict) -> None:
+    """Write named arrays plus JSON metadata as one mappable binary file.
+
+    Arrays are stored C-contiguous at 64-byte-aligned offsets; ``meta`` must
+    be JSON-serializable.  The layout is fully described by the embedded
+    header, so readers need no out-of-band schema.
+    """
+    contiguous: dict[str, np.ndarray] = {}
+    table: dict[str, dict] = {}
+    offset = 0
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        offset = _aligned(offset)
+        contiguous[name] = array
+        table[name] = {
+            "offset": offset,
+            "shape": list(array.shape),
+            "dtype": array.dtype.str,
+        }
+        offset += array.nbytes
+    header = json.dumps({"meta": meta, "arrays": table}).encode("utf-8")
+    data_start = _aligned(len(BINARY_MAGIC) + 8 + len(header))
+    path = Path(path)
+    try:
+        with open(path, "wb") as handle:
+            handle.write(BINARY_MAGIC)
+            handle.write(struct.pack("<Q", len(header)))
+            handle.write(header)
+            position = len(BINARY_MAGIC) + 8 + len(header)
+            for name, array in contiguous.items():
+                target = data_start + table[name]["offset"]
+                handle.write(b"\x00" * (target - position))
+                # The arrays are C-contiguous; writing the buffer directly
+                # streams the bytes without materializing a tobytes() copy.
+                handle.write(array.data)
+                position = target + array.nbytes
+    except OSError as exc:
+        raise SerializationError(f"cannot write binary index to {path}: {exc}") from exc
+
+
+def read_array_store(
+    path: str | Path, *, mmap: bool = True
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a :func:`write_array_store` file back as ``(meta, arrays)``.
+
+    With ``mmap=True`` the file is mapped read-only and every returned array
+    is a zero-copy view into the mapping (shared across processes through
+    the page cache); with ``mmap=False`` the bytes are read eagerly once and
+    the arrays are read-only views into that private buffer.
+    """
+    path = Path(path)
+    try:
+        if mmap:
+            buffer: np.ndarray | bytes = np.memmap(path, dtype=np.uint8, mode="r")
+        else:
+            buffer = path.read_bytes()
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"cannot read binary index from {path}: {exc}") from exc
+
+    total = len(buffer)
+    prefix = len(BINARY_MAGIC) + 8
+    if total < prefix or bytes(buffer[: len(BINARY_MAGIC)]) != BINARY_MAGIC:
+        raise SerializationError(f"{path} is not a PolyFit binary index (bad magic)")
+    (header_length,) = struct.unpack("<Q", bytes(buffer[len(BINARY_MAGIC): prefix]))
+    if prefix + header_length > total:
+        raise SerializationError(f"truncated binary index header in {path}")
+    try:
+        payload = json.loads(bytes(buffer[prefix: prefix + header_length]).decode("utf-8"))
+        meta = payload["meta"]
+        table = payload["arrays"]
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed binary index header in {path}: {exc}") from exc
+
+    data_start = _aligned(prefix + header_length)
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        for name, entry in table.items():
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            start = data_start + int(entry["offset"])
+            if start + count * dtype.itemsize > total:
+                raise SerializationError(f"truncated array {name!r} in {path}")
+            arrays[name] = np.frombuffer(
+                buffer, dtype=dtype, count=count, offset=start
+            ).reshape(shape)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed array table in {path}: {exc}") from exc
+    return meta, arrays
+
+
+# --------------------------------------------------------------------- #
+# One-key index
+# --------------------------------------------------------------------- #
+
+
+def _index1d_to_store(index: PolyFitIndex) -> tuple[dict, dict[str, np.ndarray]]:
+    if index.aggregate.is_cumulative:
+        function = index._cumulative  # noqa: SLF001 - codec is a friend module
+        function_keys, function_values = function.keys, function.values
+    else:
+        function = index._key_measure  # noqa: SLF001
+        function_keys, function_values = function.keys, function.measures
+    segments = index.segments
+    coeff_lengths = np.array(
+        [segment.polynomial.coeffs.size for segment in segments], dtype=np.int64
+    )
+    meta = {
+        "format_version": _BINARY_FORMAT_VERSION,
+        "kind": "polyfit1d",
+        "aggregate": index.aggregate.value,
+        "delta": index.delta,
+        "degree": index.degree,
+        "fanout": index.config.fanout,
+        "segmentation_method": index.config.segmentation.method,
+    }
+    arrays = {
+        "function_keys": function_keys,
+        "function_values": function_values,
+        "seg_key_low": np.array([s.key_low for s in segments], dtype=np.float64),
+        "seg_key_high": np.array([s.key_high for s in segments], dtype=np.float64),
+        "seg_start": np.array([s.start for s in segments], dtype=np.int64),
+        "seg_stop": np.array([s.stop for s in segments], dtype=np.int64),
+        "seg_max_error": np.array([s.max_error for s in segments], dtype=np.float64),
+        "poly_coeff_len": coeff_lengths,
+        "poly_coeffs": np.concatenate([s.polynomial.coeffs for s in segments]),
+        "poly_shift": np.array([s.polynomial.shift for s in segments], dtype=np.float64),
+        "poly_scale": np.array([s.polynomial.scale for s in segments], dtype=np.float64),
+    }
+    return meta, arrays
+
+
+def _index1d_from_store(meta: dict, arrays: dict[str, np.ndarray]) -> PolyFitIndex:
+    from .serialization import assemble_index1d
+
+    coeff_lengths = arrays["poly_coeff_len"]
+    offsets = np.concatenate(([0], np.cumsum(coeff_lengths)))
+    coeffs = arrays["poly_coeffs"]
+    shifts = arrays["poly_shift"]
+    scales = arrays["poly_scale"]
+    segments = [
+        Segment(
+            key_low=float(arrays["seg_key_low"][row]),
+            key_high=float(arrays["seg_key_high"][row]),
+            start=int(arrays["seg_start"][row]),
+            stop=int(arrays["seg_stop"][row]),
+            polynomial=Polynomial1D(
+                coeffs=coeffs[offsets[row]: offsets[row + 1]],
+                shift=float(shifts[row]),
+                scale=float(scales[row]),
+            ),
+            max_error=float(arrays["seg_max_error"][row]),
+        )
+        for row in range(coeff_lengths.size)
+    ]
+    return assemble_index1d(
+        aggregate=Aggregate(meta["aggregate"]),
+        delta=float(meta["delta"]),
+        degree=int(meta["degree"]),
+        fanout=int(meta["fanout"]),
+        segmentation_method=meta["segmentation_method"],
+        segments=segments,
+        function_keys=arrays["function_keys"],
+        function_values=arrays["function_values"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Two-key index
+# --------------------------------------------------------------------- #
+
+
+def _index2d_to_store(index: PolyFit2DIndex) -> tuple[dict, dict[str, np.ndarray]]:
+    from .serialization import _quadcell_to_dict
+
+    exact = index._exact  # noqa: SLF001 - codec is a friend module
+    directory = index.directory
+    meta = {
+        "format_version": _BINARY_FORMAT_VERSION,
+        "kind": "polyfit2d",
+        "aggregate": index.aggregate.value,
+        "delta": index.delta,
+        "grid_resolution": index.grid_resolution,
+        "config": {
+            "delta": index.config.delta,
+            "max_depth": index.config.max_depth,
+            "min_cell_points": index.config.min_cell_points,
+            "degree": index.config.degree,
+        },
+        "depth": directory.depth,
+        "root_bounds": list(directory.root_bounds),
+        "has_weights": exact.weights is not None,
+        # The pointer quadtree is the scalar oracle; it is small next to the
+        # point/grid arrays, so it rides in the JSON header verbatim.
+        "quadtree": _quadcell_to_dict(index._root),  # noqa: SLF001
+    }
+    arrays = {
+        "xs": exact.xs,
+        "ys": exact.ys,
+        "order_by_x": np.asarray(exact.order_by_x, dtype=np.int64),
+        "ys_sorted_by_x": exact.ys_sorted_by_x,
+        "grid_x": directory.grid_x,
+        "grid_y": directory.grid_y,
+        "grid_cf": directory.grid_cf,
+        "dir_keys": directory.keys,
+        "dir_lows": directory.lows,
+        "dir_highs": directory.highs,
+        "dir_errors": directory.errors,
+        "dir_exact_mask": directory.exact_mask,
+        "dir_exact_ranges": np.asarray(directory.exact_ranges, dtype=np.int64),
+    }
+    for name, array in directory.surfaces.to_arrays().items():
+        arrays[f"surf_{name}"] = array
+    if exact.weights is not None:
+        arrays["weights"] = exact.weights
+        arrays["weights_sorted_by_x"] = exact.weights_sorted_by_x
+    return meta, arrays
+
+
+def _index2d_from_store(meta: dict, arrays: dict[str, np.ndarray]) -> PolyFit2DIndex:
+    from .serialization import _quadcell_from_dict
+
+    has_weights = bool(meta["has_weights"])
+    exact = Cumulative2D(
+        xs=arrays["xs"],
+        ys=arrays["ys"],
+        order_by_x=arrays["order_by_x"],
+        ys_sorted_by_x=arrays["ys_sorted_by_x"],
+        weights=arrays["weights"] if has_weights else None,
+        weights_sorted_by_x=arrays["weights_sorted_by_x"] if has_weights else None,
+    )
+    surfaces = SurfaceBank.from_arrays(
+        {
+            "coeffs": arrays["surf_coeffs"],
+            "shift_u": arrays["surf_shift_u"],
+            "scale_u": arrays["surf_scale_u"],
+            "shift_v": arrays["surf_shift_v"],
+            "scale_v": arrays["surf_scale_v"],
+        }
+    )
+    directory = QuadDirectory(
+        keys=arrays["dir_keys"],
+        lows=arrays["dir_lows"],
+        highs=arrays["dir_highs"],
+        errors=arrays["dir_errors"],
+        exact_mask=arrays["dir_exact_mask"],
+        depth=int(meta["depth"]),
+        root_bounds=tuple(meta["root_bounds"]),
+        surfaces=surfaces,
+        exact_ranges=arrays["dir_exact_ranges"],
+        grid_x=arrays["grid_x"],
+        grid_y=arrays["grid_y"],
+        grid_cf=arrays["grid_cf"],
+    )
+    config_payload = meta["config"]
+    config = QuadTreeConfig(
+        delta=float(config_payload["delta"]),
+        max_depth=int(config_payload["max_depth"]),
+        min_cell_points=int(config_payload["min_cell_points"]),
+        degree=int(config_payload["degree"]),
+    )
+    return PolyFit2DIndex(
+        root=_quadcell_from_dict(meta["quadtree"]),
+        exact=exact,
+        delta=float(meta["delta"]),
+        aggregate=Aggregate(meta["aggregate"]),
+        config=config,
+        grid_resolution=int(meta["grid_resolution"]),
+        directory=directory,
+        grid=(arrays["grid_x"], arrays["grid_y"], arrays["grid_cf"]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------- #
+
+
+def save_index_binary(index: PolyFitIndex | PolyFit2DIndex, path: str | Path) -> None:
+    """Serialize a built index to the zero-copy binary format."""
+    if isinstance(index, PolyFit2DIndex):
+        meta, arrays = _index2d_to_store(index)
+    elif isinstance(index, PolyFitIndex):
+        meta, arrays = _index1d_to_store(index)
+    else:
+        raise SerializationError(f"cannot binary-serialize {type(index)!r}")
+    write_array_store(path, arrays, meta)
+
+
+def load_index_binary(path: str | Path, *, mmap: bool = True) -> PolyFitIndex | PolyFit2DIndex:
+    """Load an index written by :func:`save_index_binary`.
+
+    With ``mmap=True`` (default) the heavy arrays — the sampled target
+    function, point set, CF grid and the flat directory — are read-only
+    views into the OS page cache, so concurrent loads of the same file
+    (e.g. process-pool shard workers) share physical memory.
+    """
+    meta, arrays = read_array_store(path, mmap=mmap)
+    try:
+        kind = meta["kind"]
+        version = meta["format_version"]
+        if version != _BINARY_FORMAT_VERSION:
+            raise SerializationError(f"unsupported binary format version {version}")
+        if kind == "polyfit1d":
+            return _index1d_from_store(meta, arrays)
+        if kind == "polyfit2d":
+            return _index2d_from_store(meta, arrays)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed binary index payload: {exc}") from exc
+    raise SerializationError(f"unknown binary index kind {kind!r}")

@@ -611,17 +611,17 @@ class RangeExtremeTable:
         out = np.empty(lo.shape, dtype=np.float64)
         same = b_lo == b_hi
         if np.any(same):
-            l = lo[same]
-            h = hi[same]
-            idx = l[:, None] + np.arange(block, dtype=np.intp)[None, :]
+            win_lo = lo[same]
+            win_hi = hi[same]
+            idx = win_lo[:, None] + np.arange(block, dtype=np.intp)[None, :]
             gathered = self._values[np.minimum(idx, self._values.size - 1)]
-            gathered = np.where(idx <= h[:, None], gathered, self._fill)
+            gathered = np.where(idx <= win_hi[:, None], gathered, self._fill)
             out[same] = gathered.max(axis=1) if self._maximize else gathered.min(axis=1)
         spanning = ~same
         if np.any(spanning):
-            l = lo[spanning]
-            h = hi[spanning]
-            value = self._combine(self._suffix_in_block[l], self._prefix_in_block[h])
+            win_lo = lo[spanning]
+            win_hi = hi[spanning]
+            value = self._combine(self._suffix_in_block[win_lo], self._prefix_in_block[win_hi])
             first_full = b_lo[spanning] + 1
             last_full = b_hi[spanning] - 1
             has_middle = last_full >= first_full

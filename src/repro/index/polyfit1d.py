@@ -30,7 +30,7 @@ import numpy as np
 
 from ..baselines.exact import KeyCumulativeArray
 from ..baselines.aggregate_tree import AggregateSegmentTree
-from ..config import Aggregate, FitConfig, IndexConfig, SegmentationConfig
+from ..config import Aggregate, IndexConfig
 from ..errors import DataError, GuaranteeNotSatisfiedError, NotSupportedError, QueryError
 from ..fitting.segmentation import Segment, greedy_segmentation
 from ..functions.cumulative import CumulativeFunction, build_cumulative_function

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import Aggregate, GuaranteeKind, QuadTreeConfig
-from ..errors import DataError, GuaranteeNotSatisfiedError, NotSupportedError, QueryError
+from ..errors import GuaranteeNotSatisfiedError, NotSupportedError, QueryError
 from ..fitting.quadtree import QuadCell, build_quadtree_surface
 from ..functions.cumulative2d import Cumulative2D, build_cumulative_2d
 from ..queries.batch import DEFAULT_TILE_SIZE, iter_tiles, resolve_batch_certificates

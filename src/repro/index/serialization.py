@@ -40,7 +40,13 @@ from ..functions.cumulative import CumulativeFunction
 from ..functions.cumulative2d import build_cumulative_2d
 from ..functions.key_measure import KeyMeasureFunction
 
-__all__ = ["index_to_dict", "index_from_dict", "save_index", "load_index"]
+__all__ = [
+    "index_to_dict",
+    "index_from_dict",
+    "save_index",
+    "load_index",
+    "assemble_index1d",
+]
 
 _FORMAT_VERSION = 1
 _FORMAT_VERSION_2D = 1
@@ -132,9 +138,40 @@ def _index1d_from_dict(payload: dict) -> PolyFitIndex:
     except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(f"malformed index payload: {exc}") from exc
 
+    return assemble_index1d(
+        aggregate=aggregate,
+        delta=delta,
+        degree=degree,
+        fanout=fanout,
+        segmentation_method=method,
+        segments=segments,
+        function_keys=keys,
+        function_values=values,
+    )
+
+
+def assemble_index1d(
+    *,
+    aggregate: Aggregate,
+    delta: float,
+    degree: int,
+    fanout: int,
+    segmentation_method: str,
+    segments: list[Segment],
+    function_keys: np.ndarray,
+    function_values: np.ndarray,
+) -> PolyFitIndex:
+    """Assemble a one-key index from its persisted payload pieces.
+
+    Shared by the JSON and binary codecs: given the fitted segments and the
+    sampled target function, rebuild the directory and the exact-fallback
+    structures exactly like the original construction did.
+    """
+    keys = function_keys
+    values = function_values
     config = IndexConfig(
         fit=FitConfig(degree=degree),
-        segmentation=SegmentationConfig(delta=delta, method=method),
+        segmentation=SegmentationConfig(delta=delta, method=segmentation_method),
         fanout=fanout,
     )
     directory = SegmentDirectory.from_segments(segments)
@@ -296,18 +333,59 @@ def _index2d_from_dict(payload: dict) -> PolyFit2DIndex:
 # --------------------------------------------------------------------- #
 
 
-def save_index(index: PolyFitIndex | PolyFit2DIndex, path: str | Path) -> None:
-    """Serialize ``index`` to a JSON file."""
+#: File suffixes that select the binary codec when ``format="auto"``.
+#: ``.npz`` is deliberately absent: the raw-buffer file is not a zip archive,
+#: so advertising it under numpy's suffix would break ``np.load`` callers.
+_BINARY_SUFFIXES = (".pfbin", ".bin")
+
+
+def save_index(
+    index: PolyFitIndex | PolyFit2DIndex,
+    path: str | Path,
+    *,
+    format: str = "auto",
+) -> None:
+    """Serialize ``index`` to a file.
+
+    ``format`` selects the codec: ``"json"`` (the portable text format),
+    ``"binary"`` (the zero-copy raw-buffer format of
+    :mod:`repro.index.codec`), or ``"auto"`` (default), which picks binary
+    for ``.pfbin``/``.bin`` suffixes and JSON otherwise.
+    """
     path = Path(path)
+    if format == "auto":
+        format = "binary" if path.suffix in _BINARY_SUFFIXES else "json"
+    if format == "binary":
+        from .codec import save_index_binary
+
+        save_index_binary(index, path)
+        return
+    if format != "json":
+        raise SerializationError(f"unknown index format {format!r}")
     try:
         path.write_text(json.dumps(index_to_dict(index)))
     except OSError as exc:
         raise SerializationError(f"cannot write index to {path}: {exc}") from exc
 
 
-def load_index(path: str | Path) -> PolyFitIndex | PolyFit2DIndex:
-    """Load an index previously written by :func:`save_index`."""
+def load_index(path: str | Path, *, mmap: bool = True) -> PolyFitIndex | PolyFit2DIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    The codec is sniffed from the file content (the binary format starts
+    with a fixed magic string), so callers never need to remember how an
+    index was saved.  ``mmap`` controls whether a binary file is mapped
+    zero-copy (the default) or read eagerly; it is ignored for JSON.
+    """
     path = Path(path)
+    from .codec import BINARY_MAGIC, load_index_binary
+
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(BINARY_MAGIC))
+    except OSError as exc:
+        raise SerializationError(f"cannot read index from {path}: {exc}") from exc
+    if head == BINARY_MAGIC:
+        return load_index_binary(path, mmap=mmap)
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:

@@ -7,8 +7,11 @@ from .workloads import (
     WorkloadSpec,
 )
 from .engine import QueryEngine, evaluate_accuracy, queries_to_bounds
+from .sharding import ShardedQueryEngine, shard_slices
 
 __all__ = [
+    "ShardedQueryEngine",
+    "shard_slices",
     "RangeQuery",
     "RangeQuery2D",
     "QueryResult",

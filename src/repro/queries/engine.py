@@ -122,25 +122,59 @@ class QueryEngine:
         self._approximate_batch = approximate_batch
         self._exact_batch = exact_batch
         self._expected_aggregate = expected_aggregate
+        self._sharded = None
         self.name = name
 
     @classmethod
-    def for_index(cls, index: object, name: str = "method") -> "QueryEngine":
+    def for_index(
+        cls,
+        index: object,
+        name: str = "method",
+        *,
+        num_shards: int = 1,
+        executor: str = "thread",
+    ) -> "QueryEngine":
         """Wire an engine from an index object, auto-detecting batch support.
 
         Uses ``index.query`` / ``index.exact`` and, when present,
         ``index.query_batch`` / ``index.exact_batch`` (the interface exposed
         by :class:`~repro.index.PolyFitIndex`, :class:`PolyFit2DIndex`, the
         RMI and the FITing-tree).
+
+        With ``num_shards > 1`` the batch callables are routed through a
+        :class:`~repro.queries.sharding.ShardedQueryEngine`, which splits
+        large workloads into ``num_shards`` chunks fanned out over the
+        chosen ``executor`` ("thread" or "process") and merged in input
+        order; results stay bit-identical to the serial path.  Call
+        :meth:`close` to release the worker pool.
         """
-        return cls(
+        approximate_batch = getattr(index, "query_batch", None)
+        exact_batch = getattr(index, "exact_batch", None)
+        sharded = None
+        if num_shards > 1 and approximate_batch is not None:
+            from .sharding import ShardedQueryEngine
+
+            sharded = ShardedQueryEngine(
+                index=index, num_shards=num_shards, executor=executor
+            )
+            approximate_batch = sharded.query_batch
+            if exact_batch is not None:
+                exact_batch = sharded.exact_batch
+        engine = cls(
             approximate=index.query,  # type: ignore[attr-defined]
             exact=index.exact,  # type: ignore[attr-defined]
             name=name,
-            approximate_batch=getattr(index, "query_batch", None),
-            exact_batch=getattr(index, "exact_batch", None),
+            approximate_batch=approximate_batch,
+            exact_batch=exact_batch,
             expected_aggregate=getattr(index, "aggregate", None),
         )
+        engine._sharded = sharded
+        return engine
+
+    def close(self) -> None:
+        """Release the sharded worker pool, if one was wired in (idempotent)."""
+        if self._sharded is not None:
+            self._sharded.close()
 
     @property
     def supports_batch(self) -> bool:

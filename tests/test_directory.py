@@ -231,11 +231,11 @@ class TestRangeExtremeTable:
         values = rng.normal(size=size)
         table = RangeExtremeTable(values, maximize=maximize)
         lo = rng.integers(0, size, 300)
-        hi = np.array([rng.integers(l, size) for l in lo])
+        hi = np.array([rng.integers(low, size) for low in lo])
         got = table.query(lo, hi)
         expected = np.array(
-            [values[l: h + 1].max() if maximize else values[l: h + 1].min()
-             for l, h in zip(lo, hi)]
+            [values[low: high + 1].max() if maximize else values[low: high + 1].min()
+             for low, high in zip(lo, hi)]
         )
         assert np.array_equal(got, expected)
 

@@ -1,7 +1,6 @@
 """Property-based tests for the PolyFit indexes: guarantees on random data."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Aggregate, Guarantee, PolyFitIndex, RangeQuery

@@ -1,7 +1,6 @@
 """Property-based tests for the segmentation algorithms."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fitting import dp_segmentation, greedy_segmentation
