@@ -14,11 +14,15 @@
 #                       BENCH_batch_throughput.json
 #   make bench-shards - full shard-scaling + load-time protocol (1M-query
 #                       COUNT workload), writes BENCH_shard_scaling.json
+#   make bench-build  - full construction-time protocol (incremental/remez/
+#                       early-accept GS vs the LP-per-probe baseline up to
+#                       10^6 keys, serial vs parallel quadtree build), writes
+#                       BENCH_build_time.json
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: tier1 lint smoke-batch bench-batch bench-shards
+.PHONY: tier1 lint smoke-batch bench-batch bench-shards bench-build
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -33,10 +37,14 @@ lint:
 smoke-batch:
 	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py \
 		tests/test_directory.py tests/test_sharding.py tests/test_codec.py \
-		benchmarks/bench_shard_scaling.py
+		tests/test_fitting_incremental.py \
+		benchmarks/bench_shard_scaling.py benchmarks/bench_build_time.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
 
 bench-shards:
 	$(PYTHON) benchmarks/bench_shard_scaling.py
+
+bench-build:
+	$(PYTHON) benchmarks/bench_build_time.py

@@ -36,7 +36,7 @@ def test_ablation_minimax_needs_fewer_segments(tweet_data):
                                    guarantee=Guarantee.absolute(eps), config=config)
         counts[solver] = index.num_segments
         rows.append([
-            "minimax LP" if solver == "auto" else "least squares",
+            "minimax (remez/auto)" if solver == "auto" else "least squares",
             index.num_segments,
             f"{index.size_in_bytes() / 1024:.2f}",
         ])

@@ -72,10 +72,13 @@ class FitConfig:
     degree:
         Degree of the fitted polynomial (``deg`` in the paper).
     solver:
-        ``"auto"`` picks a closed-form/geometric method when available and
-        falls back to the LP; ``"lp"`` forces the linear program of Eq. 9;
-        ``"lstsq"`` uses least squares (no minimax optimality — used only for
-        ablation benchmarks).
+        ``"auto"`` picks the exact incremental (convex-hull) fitter for
+        degree <= 1 and the Remez exchange for degree >= 2, with the HiGHS LP
+        as the automatic fallback and correctness oracle; ``"incremental"``
+        forces the hull fitter (degree <= 1 only); ``"remez"`` forces the
+        exchange; ``"lp"`` forces the linear program of Eq. 9; ``"lstsq"``
+        uses least squares (no minimax optimality — used only for ablation
+        benchmarks).
     rescale:
         Whether keys are affinely mapped to ``[-1, 1]`` before fitting for
         numerical stability.  Coefficients are stored in the scaled basis.
@@ -88,8 +91,13 @@ class FitConfig:
     def __post_init__(self) -> None:
         if self.degree < 0:
             raise QueryError(f"polynomial degree must be >= 0, got {self.degree}")
-        if self.solver not in ("auto", "lp", "lstsq"):
+        if self.solver not in ("auto", "incremental", "remez", "lp", "lstsq"):
             raise QueryError(f"unknown solver {self.solver!r}")
+        if self.solver == "incremental" and self.degree > 1:
+            raise QueryError(
+                "the incremental solver is exact only for degree <= 1; "
+                "use 'auto' or 'remez' for higher degrees"
+            )
 
 
 @dataclass(frozen=True)
@@ -110,11 +118,17 @@ class SegmentationConfig:
         Minimum number of points per segment; segments shorter than
         ``degree + 1`` points are always exact, so this mainly controls how
         aggressively tiny segments are produced for pathological data.
+    early_accept:
+        Certify probe prefixes by re-evaluating the incumbent polynomial on
+        the extension before solving (a witness within delta proves
+        feasibility, so boundaries never change).  Disable only to benchmark
+        the solve-per-probe baseline.
     """
 
     delta: float = 100.0
     method: str = "greedy-exponential"
     min_segment_points: int = 1
+    early_accept: bool = True
 
     def __post_init__(self) -> None:
         if self.delta < 0:
@@ -159,12 +173,29 @@ class QuadTreeConfig:
         points themselves instead of a fitted surface.
     degree:
         Total degree of the bivariate polynomial surface.
+    solver:
+        Surface-fit solver: ``"auto"`` (LP with the interpolation fast path),
+        ``"lp"``, or ``"lstsq"``.  No bivariate Remez exists (there is no 2-D
+        equioscillation theory), so the LP remains the exact surface solver.
+    build_executor:
+        How the refinement frontier is evaluated: ``"serial"`` (recursive,
+        the reference), ``"thread"`` or ``"process"``.  Cells on the frontier
+        are independent, so parallel builds are bit-identical to the serial
+        one — the executor only changes wall-clock time.
+    build_workers:
+        Worker count for parallel builds; ``None`` uses the CPU count.
+
+    The build knobs (``solver``/``build_executor``/``build_workers``) only
+    affect construction; they are not serialized with the index.
     """
 
     delta: float = 250.0
     max_depth: int = 12
     min_cell_points: int = 16
     degree: int = DEFAULT_DEGREE
+    solver: str = "auto"
+    build_executor: str = "serial"
+    build_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.delta < 0:
@@ -175,3 +206,9 @@ class QuadTreeConfig:
             raise QueryError("min_cell_points must be >= 1")
         if self.degree < 0:
             raise QueryError("degree must be >= 0")
+        if self.solver not in ("auto", "lp", "lstsq"):
+            raise QueryError(f"unknown surface solver {self.solver!r}")
+        if self.build_executor not in ("serial", "thread", "process"):
+            raise QueryError(f"unknown build executor {self.build_executor!r}")
+        if self.build_workers is not None and self.build_workers < 1:
+            raise QueryError("build_workers must be >= 1")

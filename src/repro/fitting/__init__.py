@@ -6,17 +6,27 @@ This package implements the curve-fitting machinery of PolyFit:
   univariate and bivariate polynomials (the closed-form tools used at query
   time for MAX/MIN queries, Equation 17).
 * :mod:`minimax` — the minimax (Chebyshev / L-infinity) polynomial fit of a
-  point set, solved as the linear program of Equation 9 via scipy's HiGHS
-  solver, with fast paths for trivial cases.
+  point set: the Remez exchange for degree >= 2 with the Equation 9 linear
+  program (scipy HiGHS) as fallback and correctness oracle, plus fast paths
+  for trivial cases.
+* :mod:`incremental` — exact online minimax fitting for degree <= 1 (running
+  midrange, convex hulls + rotating calipers) and the one-pass
+  delta-feasibility scanner that lets GS build without any solver calls.
 * :mod:`segmentation` — the Greedy Segmentation (GS) algorithm (Algorithm 1),
-  its exponential-search acceleration, and the dynamic-programming optimum
-  used as a reference.
+  its exponential-search acceleration with the early-accept certificate, and
+  the dynamic-programming optimum used as a reference.
 * :mod:`quadtree` — the quadtree splitter used for two-key surfaces
-  (Section VI, Figure 13).
+  (Section VI, Figure 13), with serial and frontier-parallel builds.
 """
 
 from .polynomial import Polynomial1D, Polynomial2D, PolynomialBank, SurfaceBank
 from .minimax import MinimaxFit, fit_minimax_polynomial, fit_lstsq_polynomial, fit_minimax_surface
+from .incremental import (
+    IncrementalConstantFitter,
+    IncrementalLinearFitter,
+    fit_incremental_polynomial,
+    longest_feasible_prefix,
+)
 from .segmentation import Segment, greedy_segmentation, dp_segmentation, segment_count
 from .quadtree import QuadCell, build_quadtree_surface
 
@@ -29,6 +39,10 @@ __all__ = [
     "fit_minimax_polynomial",
     "fit_lstsq_polynomial",
     "fit_minimax_surface",
+    "IncrementalConstantFitter",
+    "IncrementalLinearFitter",
+    "fit_incremental_polynomial",
+    "longest_feasible_prefix",
     "Segment",
     "greedy_segmentation",
     "dp_segmentation",

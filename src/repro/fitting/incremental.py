@@ -1,0 +1,411 @@
+"""Incremental (online) minimax fitting for degree 0 and 1.
+
+The LP of Equation 9 is overkill for the degrees the paper actually evaluates
+most: a degree-0 minimax fit is just the running midrange, and the degree-1
+minimax fit has a closed geometric characterization — the optimal line is the
+center line of the narrowest *vertical* strip containing the points, which is
+determined entirely by the upper and lower convex hulls of the point set.
+Both hulls grow by amortized O(1) work per appended point when points arrive
+in key order (Andrew's monotone chain), which is exactly the access pattern of
+Greedy Segmentation.  This module provides:
+
+* :class:`IncrementalConstantFitter` / :class:`IncrementalLinearFitter` —
+  append points one at a time, read off the *exact* minimax error (and, for
+  the linear fitter, the optimal line) at any moment.  The linear fitter
+  computes the optimum with a rotating-calipers sweep over the two hulls:
+  the minimum vertical width of the hull pair is attained at a slope equal
+  to some hull edge, so merging the two (sorted) edge-slope sequences and
+  evaluating the convex width function at each breakpoint finds it in
+  O(hull) time.
+* :func:`longest_feasible_prefix` — the one-pass exact feasibility scanner
+  used by GS for degree 1: maintain the corridor of lines that stay within
+  ``delta`` of every appended point (the classic online convex-hull / slope
+  corridor construction also used by FITing-tree-style PLA and the PGM
+  index), and stop at the first point that empties it.  Amortized O(1) per
+  point, and *exact*: a prefix is accepted iff some line fits it within
+  ``delta``, which by Lemma 1 is the same predicate the per-prefix LP
+  evaluates — so GS boundaries are identical with zero LP solves.
+* :func:`fit_incremental_polynomial` — drop-in counterpart of
+  :func:`repro.fitting.minimax.fit_minimax_polynomial` for ``degree <= 1``.
+
+Duplicate keys are supported by the fitters (the hulls keep the extreme value
+per key); the feasibility scanner requires strictly increasing keys and the
+segmentation layer falls back to per-prefix incremental fits when the input
+contains ties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FittingError
+from .minimax import MinimaxFit, _achieved_error, _scaling, _validate_points
+from .polynomial import Polynomial1D
+
+__all__ = [
+    "IncrementalConstantFitter",
+    "IncrementalLinearFitter",
+    "fit_incremental_polynomial",
+    "longest_feasible_prefix",
+]
+
+
+class IncrementalConstantFitter:
+    """Exact online minimax fit of degree 0: the running midrange.
+
+    ``append`` is O(1); the minimax constant of a point set is
+    ``(max + min) / 2`` with error ``(max - min) / 2``, so ``error`` and the
+    feasibility probe ``error_with`` are closed form.
+    """
+
+    __slots__ = ("_min", "_max", "_count")
+
+    def __init__(self) -> None:
+        self._min = np.inf
+        self._max = -np.inf
+        self._count = 0
+
+    @property
+    def num_points(self) -> int:
+        """Number of appended points."""
+        return self._count
+
+    def append(self, x: float, y: float) -> None:
+        """Add one point; keys may arrive in any order for degree 0."""
+        if y < self._min:
+            self._min = y
+        if y > self._max:
+            self._max = y
+        self._count += 1
+
+    def error(self) -> float:
+        """Exact minimax error of the appended points."""
+        if self._count == 0:
+            return 0.0
+        return (self._max - self._min) / 2.0
+
+    def error_with(self, y: float) -> float:
+        """Minimax error *if* a point with value ``y`` were appended."""
+        if self._count == 0:
+            return 0.0
+        return (max(self._max, y) - min(self._min, y)) / 2.0
+
+
+def _append_upper(hx: list, hy: list, x: float, y: float) -> None:
+    """Append to the upper hull (cap: clockwise turns, slopes decreasing)."""
+    if hx and x == hx[-1]:
+        if y <= hy[-1]:
+            return
+        hx.pop()
+        hy.pop()
+    while len(hx) >= 2:
+        ox = hx[-2]
+        oy = hy[-2]
+        if (hx[-1] - ox) * (y - oy) - (hy[-1] - oy) * (x - ox) >= 0.0:
+            hx.pop()
+            hy.pop()
+        else:
+            break
+    hx.append(x)
+    hy.append(y)
+
+
+def _append_lower(hx: list, hy: list, x: float, y: float) -> None:
+    """Append to the lower hull (cup: counter-clockwise turns, slopes increasing)."""
+    if hx and x == hx[-1]:
+        if y >= hy[-1]:
+            return
+        hx.pop()
+        hy.pop()
+    while len(hx) >= 2:
+        ox = hx[-2]
+        oy = hy[-2]
+        if (hx[-1] - ox) * (y - oy) - (hy[-1] - oy) * (x - ox) <= 0.0:
+            hx.pop()
+            hy.pop()
+        else:
+            break
+    hx.append(x)
+    hy.append(y)
+
+
+def _minimax_line(ux: list, uy: list, lx: list, ly: list) -> tuple[float, float, float]:
+    """Optimal minimax line over the hull pair via rotating calipers.
+
+    Minimizes the convex piecewise-linear width ``f(a) = g(a) - h(a)`` where
+    ``g(a) = max_i (y_i - a x_i)`` walks the upper hull left-to-right as the
+    slope ``a`` decreases and ``h(a) = min_i (y_i - a x_i)`` walks the lower
+    hull right-to-left.  The minimum of a convex piecewise-linear function is
+    attained at a breakpoint, and the breakpoints are exactly the hull edge
+    slopes, so one merge of the two sorted slope sequences suffices.
+
+    Returns ``(slope, intercept, error)`` with ``error`` the exact minimax
+    error; the line is ``y = slope * x + intercept``.
+    """
+    if ux[-1] == ux[0] and lx[-1] == lx[0]:
+        # Single distinct key: any slope works; pick the horizontal midline.
+        top, bottom = uy[0], ly[0]
+        return 0.0, (top + bottom) / 2.0, (top - bottom) / 2.0
+
+    i = 0
+    j = len(lx) - 1
+    nu = len(ux)
+    best_f = np.inf
+    best_a = 0.0
+    best_i = 0
+    best_j = j
+    while i < nu - 1 or j > 0:
+        su = (uy[i + 1] - uy[i]) / (ux[i + 1] - ux[i]) if i < nu - 1 else -np.inf
+        sl = (ly[j] - ly[j - 1]) / (lx[j] - lx[j - 1]) if j > 0 else -np.inf
+        a = su if su >= sl else sl
+        # Width in *difference form*: evaluating (uy - a*ux) - (ly - a*lx)
+        # directly cancels catastrophically at steep candidate slopes (a*x
+        # dwarfs the coordinates when scaled keys nearly coincide), which can
+        # crown the wrong breakpoint; (uy - ly) and (ux - lx) are each
+        # computed accurately first, so the product stays trustworthy.
+        f = (uy[i] - ly[j]) - a * (ux[i] - lx[j])
+        if f < best_f:
+            best_f, best_a, best_i, best_j = f, a, i, j
+        if su == a and i < nu - 1:
+            i += 1
+        if sl == a and j > 0:
+            j -= 1
+    intercept = (
+        (uy[best_i] + ly[best_j]) - best_a * (ux[best_i] + lx[best_j])
+    ) / 2.0
+    return best_a, intercept, max(best_f / 2.0, 0.0)
+
+
+class IncrementalLinearFitter:
+    """Exact online minimax fit of degree 1 via incremental convex hulls.
+
+    Points must arrive with non-decreasing keys (duplicates allowed).  The
+    hulls are maintained with amortized O(1) work per append; :meth:`error`
+    and :meth:`solve` run a rotating-calipers sweep in O(hull size).
+
+    Coordinates are shifted by the first appended point before any cross
+    product, so hull predicates stay well conditioned for real-world keys
+    (timestamps) and cumulative values in the millions.
+    """
+
+    __slots__ = ("_ux", "_uy", "_lx", "_ly", "_x0", "_y0", "_count", "_last_x")
+
+    def __init__(self) -> None:
+        self._ux: list = []
+        self._uy: list = []
+        self._lx: list = []
+        self._ly: list = []
+        self._x0 = 0.0
+        self._y0 = 0.0
+        self._count = 0
+        self._last_x = -np.inf
+
+    @property
+    def num_points(self) -> int:
+        """Number of appended points."""
+        return self._count
+
+    def append(self, x: float, y: float) -> None:
+        """Add one point; keys must be non-decreasing."""
+        if self._count == 0:
+            self._x0 = x
+            self._y0 = y
+        elif x < self._last_x:
+            raise FittingError("incremental linear fitter requires sorted keys")
+        self._last_x = x
+        sx = x - self._x0
+        sy = y - self._y0
+        _append_upper(self._ux, self._uy, sx, sy)
+        _append_lower(self._lx, self._ly, sx, sy)
+        self._count += 1
+
+    def error(self) -> float:
+        """Exact minimax error of the best line through the appended points."""
+        if self._count == 0:
+            return 0.0
+        return _minimax_line(self._ux, self._uy, self._lx, self._ly)[2]
+
+    def solve(self) -> tuple[float, float, float]:
+        """The optimal line and its exact error: ``(slope, intercept, error)``.
+
+        Coordinates are the caller's input space (the conditioning shift is
+        undone): the line is ``y = slope * x + intercept``.
+        """
+        if self._count == 0:
+            raise FittingError("cannot fit an empty point set")
+        a, b, err = _minimax_line(self._ux, self._uy, self._lx, self._ly)
+        # Undo the conditioning shift: y = a * (x - x0) + b + y0.
+        return a, b + self._y0 - a * self._x0, err
+
+
+def fit_incremental_polynomial(
+    keys: np.ndarray,
+    values: np.ndarray,
+    degree: int,
+    *,
+    rescale: bool = True,
+) -> MinimaxFit:
+    """Exact minimax fit for ``degree <= 1`` without solving an LP.
+
+    Accepts the same inputs as :func:`~repro.fitting.minimax.fit_minimax_polynomial`
+    (keys need not be sorted; duplicates are fine) and reports the same
+    never-optimistic error convention: the maximum of the closed-form minimax
+    error and the achieved residual under Horner evaluation.
+    """
+    if degree not in (0, 1):
+        raise FittingError(
+            f"incremental solver supports degree 0 and 1, got degree {degree}"
+        )
+    keys, values = _validate_points(keys, values)
+    if degree == 0:
+        # The whole point set is in hand, so the running midrange collapses
+        # to two vectorized reductions.
+        low = float(values.min())
+        high = float(values.max())
+        shift, scale = _scaling(keys) if rescale else (0.0, 1.0)
+        poly = Polynomial1D(np.array([(high + low) / 2.0]), shift, scale)
+        fit = MinimaxFit(polynomial=poly, max_error=(high - low) / 2.0)
+    else:
+        if keys.size > 1 and np.any(np.diff(keys) < 0):
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            values = values[order]
+        # Fit in the standard scaled basis: hull slopes in raw key space can
+        # overflow double precision (e.g. subnormal key spans), while the LP
+        # path never sees them because its design matrix is scaled.  Working
+        # on the scaled keys makes the caliper line *be* the scaled-basis
+        # coefficients, so the degenerate-span behavior matches the LP's.
+        shift, scale = _scaling(keys) if rescale else (0.0, 1.0)
+        t = (keys - shift) / scale
+        fitter = IncrementalLinearFitter()
+        for x, y in zip(t.tolist(), values.tolist()):
+            fitter.append(x, y)
+        slope, intercept, err = fitter.solve()
+        poly = Polynomial1D(np.array([intercept, slope]), shift, scale)
+        fit = MinimaxFit(polynomial=poly, max_error=err)
+    achieved = _achieved_error(fit.polynomial, keys, values)
+    if achieved > fit.max_error:
+        fit = MinimaxFit(polynomial=fit.polynomial, max_error=achieved)
+    return fit
+
+
+def longest_feasible_prefix(
+    ks: list, vs: list, start: int, stop_limit: int, delta: float
+) -> int:
+    """First index past ``start`` whose prefix admits *no* line within ``delta``.
+
+    Exact online feasibility for degree 1 (the slope-corridor construction):
+    a line ``y = a x + b`` fits every point ``(x_i, y_i)`` within ``delta``
+    iff it passes through all vertical "tube" segments
+    ``[y_i - delta, y_i + delta]``.  The corridor of feasible lines is
+    maintained through two structures:
+
+    * the extreme feasible slopes, each realized by a pivot pair — the
+      max-slope line through a point of the *upper hull of the lower tube*
+      and a point of the *lower hull of the upper tube* (and symmetrically
+      for the min slope);
+    * those two hulls themselves, pruned from the left as the pivots advance
+      (a pivot never moves back), which is what makes the whole scan
+      amortized O(1) per point.
+
+    A new point is infeasible exactly when its upper tube end falls below the
+    min-slope line or its lower tube end rises above the max-slope line.
+
+    Parameters are plain Python lists (``ndarray.tolist()``) because the scan
+    is a per-element loop: float list access is several times faster than
+    numpy scalar indexing.  Keys must be strictly increasing on
+    ``[start, stop_limit)``.
+
+    Returns the exclusive stop of the longest feasible prefix; the prefix
+    ``[start, stop)`` satisfies the bounded ``delta``-error constraint and
+    ``stop == stop_limit`` when the whole remainder fits.
+    """
+    n = stop_limit
+    if start + 2 > n:
+        return n
+    # First two points: always feasible, initialize the corridor.
+    x0 = ks[start]
+    y0 = vs[start]
+    x1 = ks[start + 1]
+    y1 = vs[start + 1]
+    # Rectangle pivots: (r0, r2) span the min-slope line (upper tube left,
+    # lower tube right), (r1, r3) the max-slope line (lower tube left, upper
+    # tube right).
+    r0x, r0y = x0, y0 + delta
+    r1x, r1y = x0, y0 - delta
+    r2x, r2y = x1, y1 - delta
+    r3x, r3y = x1, y1 + delta
+    # upper: lower convex hull of the upper tube points (candidates for r0);
+    # lower: upper convex hull of the lower tube points (candidates for r1).
+    upper = [(r0x, r0y), (r3x, r3y)]
+    lower = [(r1x, r1y), (r2x, r2y)]
+    u0 = 0
+    l0 = 0
+    i = start + 2
+    while i < n:
+        x = ks[i]
+        y = vs[i]
+        p1y = y + delta
+        p2y = y - delta
+        s1dx = r2x - r0x
+        s1dy = r2y - r0y
+        s2dx = r3x - r1x
+        s2dy = r3y - r1y
+        # Infeasible: upper tube end below the min-slope line, or lower tube
+        # end above the max-slope line.
+        if (p1y - r2y) * s1dx < s1dy * (x - r2x) or (p2y - r3y) * s2dx > s2dy * (x - r3x):
+            return i
+        # The new upper tube end tightens the max-slope line.
+        if (p1y - r1y) * s2dx < s2dy * (x - r1x):
+            k = l0
+            bx, by = lower[k]
+            mdx = bx - x
+            mdy = by - p1y
+            for k2 in range(k + 1, len(lower)):
+                cx, cy = lower[k2]
+                vdx = cx - x
+                vdy = cy - p1y
+                if vdy * mdx > mdy * vdx:
+                    break
+                mdx, mdy, k = vdx, vdy, k2
+            r1x, r1y = lower[k]
+            r3x, r3y = x, p1y
+            l0 = k
+            end = len(upper)
+            while end >= u0 + 2:
+                ox, oy = upper[end - 2]
+                ax, ay = upper[end - 1]
+                if (ax - ox) * (p1y - oy) - (ay - oy) * (x - ox) <= 0.0:
+                    end -= 1
+                else:
+                    break
+            del upper[end:]
+            upper.append((x, p1y))
+        # The new lower tube end tightens the min-slope line.
+        if (p2y - r0y) * s1dx > s1dy * (x - r0x):
+            k = u0
+            bx, by = upper[k]
+            mdx = bx - x
+            mdy = by - p2y
+            for k2 in range(k + 1, len(upper)):
+                cx, cy = upper[k2]
+                vdx = cx - x
+                vdy = cy - p2y
+                if vdy * mdx < mdy * vdx:
+                    break
+                mdx, mdy, k = vdx, vdy, k2
+            r0x, r0y = upper[k]
+            r2x, r2y = x, p2y
+            u0 = k
+            end = len(lower)
+            while end >= l0 + 2:
+                ox, oy = lower[end - 2]
+                ax, ay = lower[end - 1]
+                if (ax - ox) * (p2y - oy) - (ay - oy) * (x - ox) >= 0.0:
+                    end -= 1
+                else:
+                    break
+            del lower[end:]
+            lower.append((x, p2y))
+        i += 1
+    return n

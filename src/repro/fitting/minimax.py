@@ -8,14 +8,25 @@ coefficients plus the slack ``t``:
     minimize  t
     s.t.      -t <= F(k_i) - P(k_i) <= t      for every point i
 
-We solve it with scipy's HiGHS solver.  Fast paths:
+We solve it with scipy's HiGHS solver — but the LP is the *fallback*, not the
+default.  Construction-time fitting goes through cheaper exact or
+near-exact solvers first:
 
+* ``degree <= 1`` — the closed-form incremental fitter
+  (:mod:`repro.fitting.incremental`): running midrange for degree 0 and the
+  convex-hull / rotating-calipers optimum for degree 1.  Exact, no LP.
+* ``degree >= 2`` — a discrete Remez exchange: iterate tiny
+  ``(degree + 2) x (degree + 2)`` linear systems on an alternating reference
+  set instead of a ``2n``-row LP, exchanging the reference against the
+  residual extrema until equioscillation.  The HiGHS LP remains the
+  correctness oracle and automatic fallback whenever the exchange degenerates
+  (coincident scaled keys, singular systems, non-convergence).
 * ``degree >= n - 1`` — the polynomial interpolates all points exactly
   (error 0), so we solve the Vandermonde system directly.
 * ``n == 1`` — a constant through the single point.
-* least-squares warm start is used to detect near-zero-error cases cheaply.
 
-For the two-key case the same LP is built over the bivariate monomial basis.
+For the two-key case the LP over the bivariate monomial basis is kept (no
+bivariate equioscillation theory backs a 2-D exchange).
 """
 
 from __future__ import annotations
@@ -129,6 +140,160 @@ def _solve_minimax_lp(design: np.ndarray, values: np.ndarray) -> tuple[np.ndarra
     return coeffs, float(result.x[-1])
 
 
+class _RemezFailure(Exception):
+    """Internal: the exchange degenerated; the caller falls back to the LP."""
+
+
+def _horner(coeffs: np.ndarray, t: np.ndarray) -> np.ndarray:
+    result = np.full_like(t, coeffs[-1])
+    for coefficient in coeffs[-2::-1]:
+        result = result * t + coefficient
+    return result
+
+
+def _initial_reference(t: np.ndarray, m: int) -> np.ndarray:
+    """Chebyshev-extrema indices into the sorted scaled keys, made strictly
+    increasing (the classic warm start for the exchange)."""
+    n = t.size
+    theta = np.pi * np.arange(m) / (m - 1)
+    targets = (t[0] + t[-1]) / 2.0 - np.cos(theta) * (t[-1] - t[0]) / 2.0
+    ref = np.clip(np.searchsorted(t, targets), 0, n - 1).astype(np.intp)
+    for i in range(1, m):
+        if ref[i] <= ref[i - 1]:
+            ref[i] = ref[i - 1] + 1
+    for i in range(m - 2, -1, -1):
+        if ref[i] >= ref[i + 1]:
+            ref[i] = ref[i + 1] - 1
+    if ref[0] < 0 or ref[-1] >= n:
+        raise _RemezFailure("cannot seat the reference set")
+    return ref
+
+
+def _exchange_reference(residual: np.ndarray, m: int) -> np.ndarray:
+    """New reference: ``m`` consecutive alternating residual extrema.
+
+    One extremum per sign run (vectorized via ``maximum.reduceat``); any
+    window of ``m`` consecutive run extrema alternates in sign, so the
+    surplus is resolved by choosing the window that contains the global
+    maximum *and* maximizes the smallest magnitude inside it.  Discrete
+    residuals are noisy (sampled target functions produce clusters of tiny
+    oscillations around each zero crossing); maximizing the window minimum
+    rejects those clusters, which would otherwise collapse the reference
+    onto adjacent points and stall the exchange.
+    """
+    signs = residual >= 0.0
+    flips = np.nonzero(signs[1:] != signs[:-1])[0] + 1
+    starts = np.concatenate(([0], flips))
+    if starts.size < m:
+        raise _RemezFailure("fewer alternations than reference points")
+    run_id = np.zeros(residual.size, dtype=np.intp)
+    run_id[flips] = 1
+    run_id = np.cumsum(run_id)
+    magnitude = np.abs(residual)
+    run_max = np.maximum.reduceat(magnitude, starts)
+    candidates = np.nonzero(magnitude >= run_max[run_id])[0]
+    _, first = np.unique(run_id[candidates], return_index=True)
+    extrema = candidates[first]
+    values = magnitude[extrema]
+    if extrema.size == m:
+        return extrema
+    windows = np.lib.stride_tricks.sliding_window_view(values, m)
+    window_mins = windows.min(axis=1)
+    peak = int(np.argmax(values))
+    lo = max(0, peak - m + 1)
+    hi = min(values.size - m, peak)
+    best = lo + int(np.argmax(window_mins[lo: hi + 1]))
+    return extrema[best: best + m]
+
+
+def _single_exchange(
+    ref: np.ndarray, residual: np.ndarray, peak: int
+) -> np.ndarray:
+    """Stiefel single-point exchange: swap the residual peak into the
+    reference while preserving sign alternation.
+
+    The retained points keep ``|r| = |E|`` and the peak exceeds it, so the de
+    la Vallee Poussin lower bound increases monotonically — the robust (if
+    slower) fallback when no multipoint window passes the safeguard.
+    """
+    ref = ref.copy()
+    peak_positive = residual[peak] >= 0.0
+    pos = int(np.searchsorted(ref, peak))
+    if pos == 0:
+        if (residual[ref[0]] >= 0.0) == peak_positive:
+            ref[0] = peak
+        else:
+            ref[1:] = ref[:-1]
+            ref[0] = peak
+    elif pos == ref.size:
+        if (residual[ref[-1]] >= 0.0) == peak_positive:
+            ref[-1] = peak
+        else:
+            ref[:-1] = ref[1:]
+            ref[-1] = peak
+    elif (residual[ref[pos - 1]] >= 0.0) == peak_positive:
+        ref[pos - 1] = peak
+    else:
+        ref[pos] = peak
+    return ref
+
+
+def _solve_remez(
+    t: np.ndarray,
+    values: np.ndarray,
+    degree: int,
+    *,
+    max_iterations: int = 100,
+) -> np.ndarray:
+    """Discrete Remez exchange over sorted, strictly increasing scaled keys.
+
+    Each iteration solves the ``(degree + 2)``-point equioscillation system
+    ``P(t_i) + (-1)^i E = y_i`` (one tiny dense solve), evaluates the
+    residual over *all* points with one Horner pass, and exchanges the
+    reference against the residual extrema.  Converged when the global
+    residual matches the levelled error ``|E|`` up to round-off; raises
+    :class:`_RemezFailure` otherwise so the caller can fall back to the LP.
+    """
+    n = t.size
+    m = degree + 2
+    if n < m:
+        raise _RemezFailure("not enough points for a reference set")
+    ref = np.arange(m, dtype=np.intp) if n == m else _initial_reference(t, m)
+    signs = np.where(np.arange(m) % 2 == 0, 1.0, -1.0)
+    tolerance = 1e-12 * (1.0 + float(np.max(np.abs(values))))
+    for _ in range(max_iterations):
+        system = np.empty((m, m))
+        system[:, : degree + 1] = np.vander(t[ref], N=degree + 1, increasing=True)
+        system[:, degree + 1] = signs
+        try:
+            solution = np.linalg.solve(system, values[ref])
+        except np.linalg.LinAlgError as exc:
+            raise _RemezFailure(str(exc)) from exc
+        if not np.all(np.isfinite(solution)):
+            raise _RemezFailure("non-finite exchange solution")
+        coeffs = solution[: degree + 1]
+        levelled = abs(float(solution[degree + 1]))
+        residual = values - _horner(coeffs, t)
+        worst = float(np.max(np.abs(residual)))
+        if worst <= levelled + 1e-8 * worst + tolerance:
+            return coeffs
+        # Multipoint exchange with the de la Vallee Poussin safeguard: the
+        # weakest point of the new reference must not fall below the current
+        # levelled error, or convergence is lost (nearly coincident scaled
+        # keys make clustered extrema with tiny alternating residuals).
+        # Otherwise fall back to the monotone single-point exchange.
+        try:
+            new_ref = _exchange_reference(residual, m)
+            if float(np.min(np.abs(residual[new_ref]))) < levelled * (1.0 - 1e-9):
+                new_ref = _single_exchange(ref, residual, int(np.argmax(np.abs(residual))))
+        except _RemezFailure:
+            new_ref = _single_exchange(ref, residual, int(np.argmax(np.abs(residual))))
+        if np.array_equal(new_ref, ref):
+            raise _RemezFailure("exchange stalled short of equioscillation")
+        ref = new_ref
+    raise _RemezFailure("exchange did not converge")
+
+
 def fit_lstsq_polynomial(
     keys: np.ndarray,
     values: np.ndarray,
@@ -170,9 +335,12 @@ def fit_minimax_polynomial(
     rescale:
         Map keys affinely to ``[-1, 1]`` before fitting (recommended).
     solver:
-        ``"auto"`` (interpolation fast path, then LP), ``"lp"`` (always LP),
-        or ``"lstsq"`` (plain least squares; *not* minimax optimal — used for
-        ablations only).
+        ``"auto"`` (interpolation fast path, then the exact incremental
+        fitter for degree <= 1 and the Remez exchange with LP fallback for
+        degree >= 2), ``"incremental"`` (force the hull fitter; degree <= 1
+        only), ``"remez"`` (force the exchange, still with LP fallback on
+        degeneracy), ``"lp"`` (always the HiGHS LP of Eq. 9), or ``"lstsq"``
+        (plain least squares; *not* minimax optimal — ablations only).
 
     Returns
     -------
@@ -187,11 +355,16 @@ def fit_minimax_polynomial(
     keys, values = _validate_points(keys, values)
     if degree < 0:
         raise FittingError(f"degree must be >= 0, got {degree}")
-    if solver not in ("auto", "lp", "lstsq"):
+    if solver not in ("auto", "incremental", "remez", "lp", "lstsq"):
         raise FittingError(f"unknown solver {solver!r}")
 
     if solver == "lstsq":
         return fit_lstsq_polynomial(keys, values, degree, rescale=rescale)
+
+    if solver == "incremental" or (solver == "auto" and degree <= 1 and keys.size > degree + 1):
+        from .incremental import fit_incremental_polynomial
+
+        return fit_incremental_polynomial(keys, values, degree, rescale=rescale)
 
     shift, scale = _scaling(keys) if rescale else (0.0, 1.0)
 
@@ -199,7 +372,7 @@ def fit_minimax_polynomial(
     # it can interpolate them (near-)exactly.  Least squares is used instead
     # of an exact solve so nearly-coincident keys (singular Vandermonde
     # matrices) degrade gracefully instead of raising.
-    if solver == "auto" and keys.size <= degree + 1:
+    if solver in ("auto", "remez") and keys.size <= degree + 1:
         effective_degree = keys.size - 1
         design = _design_matrix_1d(keys, effective_degree, shift, scale)
         if keys.size > 1:
@@ -209,6 +382,23 @@ def fit_minimax_polynomial(
         coeffs = _pad_coeffs(coeffs, degree)
         poly = Polynomial1D(coeffs, shift, scale)
         return MinimaxFit(polynomial=poly, max_error=_achieved_error(poly, keys, values))
+
+    if solver in ("auto", "remez"):
+        if np.all(np.diff(keys) >= 0):
+            sorted_keys, sorted_values = keys, values
+        else:
+            order = np.argsort(keys, kind="stable")
+            sorted_keys, sorted_values = keys[order], values[order]
+        t = (sorted_keys - shift) / scale
+        if t.size < 2 or np.all(np.diff(t) > 0):
+            try:
+                coeffs = _solve_remez(t, sorted_values, degree)
+                poly = Polynomial1D(coeffs, shift, scale)
+                return MinimaxFit(
+                    polynomial=poly, max_error=_achieved_error(poly, keys, values)
+                )
+            except _RemezFailure:
+                pass  # coincident/ill-posed reference: fall back to the LP.
 
     design = _design_matrix_1d(keys, degree, shift, scale)
     coeffs, error = _solve_minimax_lp(design, values)

@@ -8,11 +8,24 @@ exceeds the budget ``delta`` (Figure 13).  Splitting stops when every leaf
 satisfies the budget, the leaf contains too few samples to be worth fitting,
 or the maximum depth is reached (in which case the leaf stores its samples
 exactly so guarantees still hold).
+
+Construction is organized around :func:`_cell_outcome`, a pure function of a
+cell's rectangle: it slices the cell's CF-grid samples directly out of the
+sorted grid arrays (two ``searchsorted`` probes per axis instead of
+full-grid boolean masks) and decides leaf-vs-split.  The serial build
+recurses over it; the parallel build evaluates whole refinement frontiers of
+it at once across a thread or process pool — cells on a frontier are
+independent, so the parallel tree is bit-identical to the serial one
+regardless of scheduling.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -21,7 +34,12 @@ from ..errors import SegmentationError
 from .minimax import fit_minimax_surface
 from .polynomial import Polynomial2D
 
-__all__ = ["QuadCell", "build_quadtree_surface", "linearize_quadtree"]
+__all__ = [
+    "QuadCell",
+    "build_quadtree_surface",
+    "linearize_quadtree",
+    "quadtree_build_signature",
+]
 
 #: Deepest quadtree supported by the 64-bit Morton codes of the linearized
 #: leaf directory (32 bits per axis).
@@ -191,6 +209,40 @@ def linearize_quadtree(root: QuadCell) -> tuple[list[QuadCell], np.ndarray, int]
     return leaves, codes, depth
 
 
+def quadtree_build_signature(root: QuadCell) -> list:
+    """Canonical byte-level signature of a built quadtree.
+
+    Covers everything construction decides: the Z-order leaf codes and
+    depth, every leaf's rectangle/depth/error, exact payloads and surface
+    coefficients with their scalings.  Two builds are bit-identical iff
+    their signatures compare equal — the single definition shared by the
+    parallel-build tests and the build-time benchmark gate, so the notion
+    of "bit-identical" cannot drift between them.
+    """
+    leaves, codes, depth = linearize_quadtree(root)
+    signature: list = [codes.tobytes(), depth]
+    for leaf in leaves:
+        signature.append(
+            (leaf.x_low, leaf.x_high, leaf.y_low, leaf.y_high, leaf.depth, leaf.max_error)
+        )
+        if leaf.is_exact:
+            us, vs, cf = leaf.exact_points
+            signature.append((us.tobytes(), vs.tobytes(), cf.tobytes()))
+        else:
+            surface = leaf.surface
+            signature.append(
+                (
+                    surface.coeffs.tobytes(),
+                    surface.degree,
+                    surface.shift_u,
+                    surface.scale_u,
+                    surface.shift_v,
+                    surface.scale_v,
+                )
+            )
+    return signature
+
+
 def morton_interleave2(gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
     """Interleave two <=32-bit integer coordinate arrays into Morton codes.
 
@@ -255,32 +307,82 @@ def build_quadtree_surface(
         y_high=float(grid_y[-1]),
         depth=0,
     )
-    _refine_cell(root, grid_x, grid_y, grid_cf, config)
+    if config.build_executor == "serial":
+        _refine_cell(root, grid_x, grid_y, grid_cf, config)
+    else:
+        _refine_frontier_parallel(root, grid_x, grid_y, grid_cf, config)
     return root
 
 
 def _cell_samples(
-    cell: QuadCell, grid_x: np.ndarray, grid_y: np.ndarray, grid_cf: np.ndarray
+    x_low: float,
+    x_high: float,
+    y_low: float,
+    y_high: float,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Flattened (u, v, cf) samples inside the cell's rectangle."""
-    x_mask = (grid_x >= cell.x_low) & (grid_x <= cell.x_high)
-    y_mask = (grid_y >= cell.y_low) & (grid_y <= cell.y_high)
-    xs = grid_x[x_mask]
-    ys = grid_y[y_mask]
-    sub = grid_cf[np.ix_(x_mask, y_mask)]
-    uu, vv = np.meshgrid(xs, ys, indexing="ij")
-    return uu.ravel(), vv.ravel(), sub.ravel()
+    """Flattened (u, v, cf) samples inside the rectangle.
+
+    The grid axes are sorted, so the covered sample block is a contiguous
+    slice per axis — two ``searchsorted`` probes replace the full-grid
+    boolean masks, making per-cell sampling O(cell) instead of O(grid).
+    """
+    i0 = int(np.searchsorted(grid_x, x_low, side="left"))
+    i1 = int(np.searchsorted(grid_x, x_high, side="right"))
+    j0 = int(np.searchsorted(grid_y, y_low, side="left"))
+    j1 = int(np.searchsorted(grid_y, y_high, side="right"))
+    nx = i1 - i0
+    ny = j1 - j0
+    if nx <= 0 or ny <= 0:
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty, empty
+    us = np.repeat(grid_x[i0:i1], ny)
+    vs = np.tile(grid_y[j0:j1], nx)
+    return us, vs, grid_cf[i0:i1, j0:j1].ravel()
 
 
-def _refine_cell(
-    cell: QuadCell,
+def _cell_outcome(
+    spec: tuple[float, float, float, float, int],
     grid_x: np.ndarray,
     grid_y: np.ndarray,
     grid_cf: np.ndarray,
     config: QuadTreeConfig,
-) -> None:
-    us, vs, cf = _cell_samples(cell, grid_x, grid_y, grid_cf)
+) -> tuple:
+    """Decide one cell's fate — a pure function of its rectangle.
+
+    Returns one of ``("empty",)``, ``("exact", us, vs, cf)``,
+    ``("surface", polynomial, max_error)`` or ``("split",)``.  Both the
+    serial recursion and the parallel frontier driver consume exactly this,
+    which is what makes parallel builds bit-identical to serial ones.
+    """
+    x_low, x_high, y_low, y_high, depth = spec
+    us, vs, cf = _cell_samples(x_low, x_high, y_low, y_high, grid_x, grid_y, grid_cf)
     if us.size == 0:
+        return ("empty",)
+    if us.size <= config.min_cell_points:
+        return ("exact", us, vs, cf)
+    fit = fit_minimax_surface(us, vs, cf, config.degree, solver=config.solver)
+    if fit.max_error <= config.delta:
+        return ("surface", fit.polynomial, fit.max_error)
+    if depth >= config.max_depth:
+        # Depth budget exhausted without meeting the error budget: store
+        # samples exactly so the index can still certify guarantees.
+        return ("exact", us, vs, cf)
+    return ("split",)
+
+
+def _apply_outcome(
+    cell: QuadCell,
+    outcome: tuple,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
+) -> list[QuadCell]:
+    """Record a cell's outcome; returns the children of split cells."""
+    kind = outcome[0]
+    if kind == "empty":
         # Empty cells (no grid samples) become exact leaves with a single
         # synthetic corner sample taken from the nearest grid point.
         xi = int(np.clip(np.searchsorted(grid_x, cell.x_low), 0, grid_x.size - 1))
@@ -290,23 +392,14 @@ def _refine_cell(
             np.array([grid_y[yi]]),
             np.array([grid_cf[xi, yi]]),
         )
-        return
-
-    if us.size <= config.min_cell_points:
-        cell.exact_points = (us, vs, cf)
-        return
-
-    fit = fit_minimax_surface(us, vs, cf, config.degree)
-    if fit.max_error <= config.delta or cell.depth >= config.max_depth:
-        if fit.max_error <= config.delta:
-            cell.surface = fit.polynomial
-            cell.max_error = fit.max_error
-        else:
-            # Depth budget exhausted without meeting the error budget: store
-            # samples exactly so the index can still certify guarantees.
-            cell.exact_points = (us, vs, cf)
-        return
-
+        return []
+    if kind == "exact":
+        cell.exact_points = (outcome[1], outcome[2], outcome[3])
+        return []
+    if kind == "surface":
+        cell.surface = outcome[1]
+        cell.max_error = outcome[2]
+        return []
     x_mid = (cell.x_low + cell.x_high) / 2.0
     y_mid = (cell.y_low + cell.y_high) / 2.0
     quadrants = [
@@ -316,12 +409,98 @@ def _refine_cell(
         (x_mid, cell.x_high, y_mid, cell.y_high),
     ]
     for x_low, x_high, y_low, y_high in quadrants:
-        child = QuadCell(
-            x_low=x_low,
-            x_high=x_high,
-            y_low=y_low,
-            y_high=y_high,
-            depth=cell.depth + 1,
+        cell.children.append(
+            QuadCell(
+                x_low=x_low,
+                x_high=x_high,
+                y_low=y_low,
+                y_high=y_high,
+                depth=cell.depth + 1,
+            )
         )
-        cell.children.append(child)
+    return cell.children
+
+
+def _refine_cell(
+    cell: QuadCell,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
+    config: QuadTreeConfig,
+) -> None:
+    spec = (cell.x_low, cell.x_high, cell.y_low, cell.y_high, cell.depth)
+    outcome = _cell_outcome(spec, grid_x, grid_y, grid_cf, config)
+    for child in _apply_outcome(cell, outcome, grid_x, grid_y, grid_cf):
         _refine_cell(child, grid_x, grid_y, grid_cf, config)
+
+
+# --------------------------------------------------------------------- #
+# Parallel frontier build
+# --------------------------------------------------------------------- #
+
+# Per-worker build context for the process executor (initializer-installed so
+# the grids cross the process boundary once per worker, not once per cell).
+_BUILD_CONTEXT = None
+
+
+def _build_worker_init(
+    grid_x: np.ndarray, grid_y: np.ndarray, grid_cf: np.ndarray, config: QuadTreeConfig
+) -> None:
+    global _BUILD_CONTEXT
+    _BUILD_CONTEXT = (grid_x, grid_y, grid_cf, config)
+
+
+def _build_worker_outcome(spec: tuple) -> tuple:
+    return _cell_outcome(spec, *_BUILD_CONTEXT)
+
+
+def _refine_frontier_parallel(
+    root: QuadCell,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
+    config: QuadTreeConfig,
+) -> None:
+    """Breadth-first refinement with each frontier fanned across a pool.
+
+    Every frontier cell's outcome depends only on its own rectangle, so the
+    fits are evaluated concurrently and applied in frontier order — the
+    resulting tree is bit-identical to the serial recursion.  Threads share
+    the grids in place (the LP/lstsq kernels release the GIL inside
+    scipy/BLAS); process workers receive them once via the pool initializer,
+    using fork's copy-on-write pages where the platform provides them.
+    """
+    workers = config.build_workers or os.cpu_count() or 1
+    if config.build_executor == "thread":
+        pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-build")
+        outcome = partial(
+            _cell_outcome, grid_x=grid_x, grid_y=grid_y, grid_cf=grid_cf, config=config
+        )
+    else:
+        context = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_build_worker_init,
+            initargs=(grid_x, grid_y, grid_cf, config),
+        )
+        outcome = _build_worker_outcome
+    try:
+        frontier = [root]
+        while frontier:
+            specs = [
+                (cell.x_low, cell.x_high, cell.y_low, cell.y_high, cell.depth)
+                for cell in frontier
+            ]
+            next_frontier: list[QuadCell] = []
+            for cell, result in zip(frontier, pool.map(outcome, specs)):
+                next_frontier.extend(
+                    _apply_outcome(cell, result, grid_x, grid_y, grid_cf)
+                )
+            frontier = next_frontier
+    finally:
+        pool.shutdown()

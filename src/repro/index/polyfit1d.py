@@ -154,6 +154,7 @@ class PolyFitIndex:
             degree=config.fit.degree,
             use_exponential_search=config.segmentation.method != "greedy",
             solver=config.fit.solver,
+            early_accept=config.segmentation.early_accept,
         )
         directory = SegmentDirectory.from_segments(segments)
 
@@ -161,14 +162,11 @@ class PolyFitIndex:
         exact_fallback = None
         if aggregate.is_extremum:
             assert key_measure is not None
-            per_segment_extremes = np.array(
-                [
-                    key_measure.measures[segment.start: segment.stop].max()
-                    if aggregate is Aggregate.MAX
-                    else key_measure.measures[segment.start: segment.stop].min()
-                    for segment in segments
-                ]
-            )
+            # Segments tile [0, n), so one reduceat over the segment starts
+            # yields every per-segment extreme without a Python-level loop.
+            starts = np.array([segment.start for segment in segments], dtype=np.intp)
+            reducer = np.maximum if aggregate is Aggregate.MAX else np.minimum
+            per_segment_extremes = reducer.reduceat(key_measure.measures, starts)
             segment_extreme_tree = AggregateSegmentTree(
                 keys=np.arange(len(segments), dtype=np.float64),
                 measures=per_segment_extremes,

@@ -15,6 +15,8 @@ fails.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from ..config import Aggregate, GuaranteeKind, QuadTreeConfig
@@ -120,12 +122,7 @@ class PolyFit2DIndex:
                 )
             delta = delta_for_absolute(guarantee.epsilon, aggregate, num_keys=2)
         base = config or QuadTreeConfig()
-        config = QuadTreeConfig(
-            delta=delta,
-            max_depth=base.max_depth,
-            min_cell_points=base.min_cell_points,
-            degree=base.degree,
-        )
+        config = replace(base, delta=delta)
 
         weights = measures if aggregate is Aggregate.SUM else None
         exact = build_cumulative_2d(xs, ys, weights=weights)
@@ -279,18 +276,18 @@ class PolyFit2DIndex:
         y_lows: np.ndarray,
         y_highs: np.ndarray,
     ) -> np.ndarray:
-        """Exact rectangle aggregates for N queries (per-query evaluation)."""
+        """Exact rectangle aggregates for N queries.
+
+        Runs the offline sort-based sweep of
+        :meth:`~repro.functions.cumulative2d.Cumulative2D.range_count_batch`
+        — O((n + q) log n) in a handful of NumPy passes — instead of the
+        per-query window scan, so the relative-guarantee fallback no longer
+        serializes on Python-level loops.
+        """
         x_lows, x_highs, y_lows, y_highs = self._validate_rectangles(
             x_lows, x_highs, y_lows, y_highs
         )
-        range_count = self._exact.range_count
-        return np.array(
-            [
-                range_count(x_lows[i], x_highs[i], y_lows[i], y_highs[i])
-                for i in range(x_lows.size)
-            ],
-            dtype=np.float64,
-        )
+        return self._exact.range_count_batch(x_lows, x_highs, y_lows, y_highs)
 
     def query_batch(
         self,

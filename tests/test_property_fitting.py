@@ -53,8 +53,11 @@ class TestMinimaxProperties:
             fit_minimax_polynomial(keys, values, degree, solver="lp").max_error
             for degree in (0, 1, 2)
         ]
-        assert errors[1] <= errors[0] + 1e-6
-        assert errors[2] <= errors[1] + 1e-6
+        # The relative term absorbs the LP's conditioning noise: with nearly
+        # coincident scaled keys HiGHS can be ~1e-7-relative suboptimal at one
+        # degree and near-exact at the next.
+        assert errors[1] <= errors[0] * (1 + 1e-7) + 1e-6
+        assert errors[2] <= errors[1] * (1 + 1e-7) + 1e-6
 
     @settings(max_examples=30, deadline=None)
     @given(points=_point_sets, degree=st.integers(min_value=1, max_value=3))
