@@ -18,11 +18,15 @@
 #                       early-accept GS vs the LP-per-probe baseline up to
 #                       10^6 keys, serial vs parallel quadtree build), writes
 #                       BENCH_build_time.json
+#   make bench-update - full streaming-ingestion protocol (inserts/s, query
+#                       latency vs delta-buffer fill, compaction pause vs a
+#                       from-scratch rebuild), writes
+#                       BENCH_update_throughput.json
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: tier1 lint smoke-batch bench-batch bench-shards bench-build
+.PHONY: tier1 lint smoke-batch bench-batch bench-shards bench-build bench-update
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -38,7 +42,9 @@ smoke-batch:
 	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py \
 		tests/test_directory.py tests/test_sharding.py tests/test_codec.py \
 		tests/test_fitting_incremental.py \
-		benchmarks/bench_shard_scaling.py benchmarks/bench_build_time.py
+		tests/test_stream_updatable.py tests/test_stream_2d.py \
+		benchmarks/bench_shard_scaling.py benchmarks/bench_build_time.py \
+		benchmarks/bench_update_throughput.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
@@ -48,3 +54,6 @@ bench-shards:
 
 bench-build:
 	$(PYTHON) benchmarks/bench_build_time.py
+
+bench-update:
+	$(PYTHON) benchmarks/bench_update_throughput.py

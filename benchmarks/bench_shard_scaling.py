@@ -97,17 +97,14 @@ def _shard_section(index, index_path: str, bounds, *, repeats: int) -> dict:
         )
         per_count: dict = {}
         for count, timing in timings.items():
-            engine = ShardedQueryEngine(
+            with ShardedQueryEngine(
                 index=index,
                 index_path=index_path if executor == "process" else None,
                 num_shards=count,
                 executor=executor,
                 min_queries_per_shard=1,
-            )
-            try:
+            ) as engine:
                 identical = bool(np.array_equal(engine.estimate_batch(*bounds), serial))
-            finally:
-                engine.close()
             qps = round(1e9 / timing.per_query_ns)
             per_count[str(count)] = {
                 "qps": qps,

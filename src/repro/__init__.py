@@ -71,6 +71,8 @@ from .index import (
     CellDirectory,
     SegmentDirectory,
     QuadDirectory,
+    DeltaSnapshot,
+    DirectoryOverlay,
     PolyFitIndex,
     PolyFit2DIndex,
     save_index,
@@ -79,6 +81,12 @@ from .index import (
     load_index_binary,
     index_to_dict,
     index_from_dict,
+)
+from .stream import (
+    CompactionPolicy,
+    DeltaBuffer,
+    UpdatablePolyFitIndex,
+    UpdatablePolyFit2DIndex,
 )
 from .fitting import (
     Polynomial1D,
@@ -136,6 +144,8 @@ __all__ = [
     "CellDirectory",
     "SegmentDirectory",
     "QuadDirectory",
+    "DeltaSnapshot",
+    "DirectoryOverlay",
     "PolyFitIndex",
     "PolyFit2DIndex",
     "save_index",
@@ -144,6 +154,11 @@ __all__ = [
     "load_index_binary",
     "index_to_dict",
     "index_from_dict",
+    # streaming ingestion
+    "CompactionPolicy",
+    "DeltaBuffer",
+    "UpdatablePolyFitIndex",
+    "UpdatablePolyFit2DIndex",
     # fitting
     "Polynomial1D",
     "Polynomial2D",

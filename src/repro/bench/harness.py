@@ -158,24 +158,21 @@ def sweep_shard_counts(
     num_queries = len(bounds[0])
     timings: dict[int, MethodTiming] = {}
     for count in shard_counts:
-        engine = ShardedQueryEngine(
+        with ShardedQueryEngine(
             index=index,
             index_path=index_path,
             num_shards=count,
             executor=executor,
             min_queries_per_shard=min_queries_per_shard,
             mmap=mmap,
-        )
-        run_batch = getattr(engine, method)
-        try:
+        ) as engine:
+            run_batch = getattr(engine, method)
             timings[count] = time_batch_per_query_ns(
                 lambda: run_batch(*bounds),
                 num_queries,
                 repeats=repeats,
                 method=f"{method}[shards={count},{executor}]",
             )
-        finally:
-            engine.close()
     return timings
 
 

@@ -1,6 +1,6 @@
 """Command-line interface for building and querying PolyFit indexes.
 
-Provides three subcommands mirroring a typical deployment workflow:
+Provides four subcommands mirroring a typical deployment workflow:
 
 ``build``
     Load a (key, measure) CSV, build a PolyFit index for the requested
@@ -13,6 +13,12 @@ Provides three subcommands mirroring a typical deployment workflow:
     Print summary statistics of a built index (aggregate, delta, segments,
     payload size).
 
+``ingest``
+    Demo the streaming write path: build a base index from a prefix of the
+    records, stream the rest in batches through an
+    :class:`~repro.stream.UpdatablePolyFitIndex` (append → query → compact),
+    and report buffer fill, epochs and probe-query accuracy along the way.
+
 Example
 -------
 ::
@@ -20,6 +26,7 @@ Example
     python -m repro.cli build ticks.csv index.json --aggregate max --eps-abs 50
     python -m repro.cli query index.json 1000 2000 --eps-abs 50
     python -m repro.cli info index.json
+    python -m repro.cli ingest --synthetic 20000 --delta 50 --max-buffer 2048
 """
 
 from __future__ import annotations
@@ -28,11 +35,14 @@ import argparse
 import sys
 from typing import Sequence
 
+import numpy as np
+
 from .config import Aggregate, FitConfig, IndexConfig, SegmentationConfig
 from .datasets.loaders import load_keyed_csv
-from .errors import ReproError
+from .errors import QueryError, ReproError
 from .index import PolyFitIndex, load_index, save_index
 from .queries.types import Guarantee, RangeQuery
+from .stream import CompactionPolicy, UpdatablePolyFitIndex
 
 __all__ = ["main", "build_parser"]
 
@@ -71,6 +81,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = subparsers.add_parser("info", help="describe a built index")
     info.add_argument("index_file", help="JSON index written by `build`")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="demo streaming ingestion: append -> query -> compact"
+    )
+    ingest.add_argument("input_csv", nargs="?", default=None,
+                        help="CSV stream source (omit when using --synthetic)")
+    ingest.add_argument("--synthetic", type=int, default=None, metavar="N",
+                        help="generate N synthetic append-only records instead of a CSV")
+    ingest.add_argument("--aggregate", choices=[a.value for a in Aggregate],
+                        default="count", help="aggregate the index answers")
+    ingest.add_argument("--key-column", type=int, default=0)
+    ingest.add_argument("--measure-column", type=int, default=1)
+    ingest.add_argument("--no-header", action="store_true",
+                        help="the CSV file has no header row")
+    ingest.add_argument("--degree", type=int, default=1,
+                        help="polynomial degree (1 = linear-time compaction)")
+    budget = ingest.add_mutually_exclusive_group(required=True)
+    budget.add_argument("--eps-abs", type=float,
+                        help="absolute error guarantee (Problem 1)")
+    budget.add_argument("--delta", type=float,
+                        help="per-segment budget (for relative-error workloads)")
+    ingest.add_argument("--base-fraction", type=float, default=0.5,
+                        help="fraction of the stream used for the initial build")
+    ingest.add_argument("--batch-size", type=int, default=1000,
+                        help="records inserted per streaming batch")
+    ingest.add_argument("--max-buffer", type=int, default=4096,
+                        help="compaction threshold (CompactionPolicy.max_buffer)")
+    ingest.add_argument("--seed", type=int, default=0,
+                        help="seed for the synthetic stream")
 
     return parser
 
@@ -134,10 +173,87 @@ def _command_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ingest_records(args: argparse.Namespace) -> tuple[np.ndarray, np.ndarray]:
+    """The (keys, measures) stream: a CSV or a synthetic append-only walk."""
+    if (args.input_csv is None) == (args.synthetic is None):
+        raise QueryError("provide exactly one of input_csv or --synthetic N")
+    if args.input_csv is not None:
+        return load_keyed_csv(
+            args.input_csv,
+            key_column=args.key_column,
+            measure_column=args.measure_column,
+            has_header=not args.no_header,
+        )
+    if args.synthetic < 4:
+        raise QueryError("--synthetic needs at least 4 records")
+    rng = np.random.default_rng(args.seed)
+    # Strictly increasing keys (an arrival-time stream) with noisy measures:
+    # the append-only shape the tail re-segmentation fast path is built for.
+    keys = np.cumsum(rng.uniform(0.1, 1.0, size=args.synthetic))
+    measures = 100.0 + np.cumsum(rng.normal(0.0, 1.0, size=args.synthetic))
+    return keys, np.abs(measures)
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    aggregate = Aggregate(args.aggregate)
+    keys, measures = _ingest_records(args)
+    split = max(2, int(len(keys) * args.base_fraction))
+    if not 0 < split < len(keys):
+        raise QueryError(
+            f"--base-fraction {args.base_fraction} leaves no records to stream"
+        )
+    config = IndexConfig(
+        fit=FitConfig(degree=args.degree),
+        segmentation=SegmentationConfig(delta=args.delta if args.delta else 1.0),
+    )
+    index = UpdatablePolyFitIndex.build(
+        keys[:split],
+        None if aggregate is Aggregate.COUNT else measures[:split],
+        aggregate=aggregate,
+        delta=args.delta,
+        guarantee=Guarantee.absolute(args.eps_abs) if args.eps_abs else None,
+        config=config,
+        policy=CompactionPolicy(max_buffer=args.max_buffer, auto=True),
+    )
+    print(
+        f"base: {split} records -> {index.num_segments} degree-{args.degree} "
+        f"segments, certified bound +/-{index.certified_bound:g}, "
+        f"compaction threshold {args.max_buffer}"
+    )
+    for start in range(split, len(keys), args.batch_size):
+        stop = min(start + args.batch_size, len(keys))
+        epoch_before = index.epoch
+        index.insert(
+            keys[start:stop],
+            None if aggregate is Aggregate.COUNT else measures[start:stop],
+        )
+        low = float(keys[0] + 0.25 * (keys[stop - 1] - keys[0]))
+        high = float(keys[0] + 0.75 * (keys[stop - 1] - keys[0]))
+        probe = RangeQuery(low, high, aggregate)
+        approx = index.estimate(probe)
+        exact = index.exact(probe)
+        compacted = " [compacted]" if index.epoch > epoch_before else ""
+        print(
+            f"ingested {stop}/{len(keys)}: buffer {index.buffer_size}, "
+            f"epoch {index.epoch}, probe {aggregate.value}[{low:g}, {high:g}] "
+            f"= {approx:g} (exact {exact:g}, |err| {abs(approx - exact):g})"
+            f"{compacted}"
+        )
+    if index.compact():
+        print("final compaction ran")
+    print(
+        f"done: {len(keys)} records, {index.epoch} epochs, "
+        f"{index.num_segments} segments, payload "
+        f"{index.size_in_bytes() / 1024:.2f} KiB"
+    )
+    return 0
+
+
 _COMMANDS = {
     "build": _command_build,
     "query": _command_query,
     "info": _command_info,
+    "ingest": _command_ingest,
 }
 
 

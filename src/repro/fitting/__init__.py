@@ -22,6 +22,7 @@ This package implements the curve-fitting machinery of PolyFit:
 from .polynomial import Polynomial1D, Polynomial2D, PolynomialBank, SurfaceBank
 from .minimax import MinimaxFit, fit_minimax_polynomial, fit_lstsq_polynomial, fit_minimax_surface
 from .incremental import (
+    CorridorScanner,
     IncrementalConstantFitter,
     IncrementalLinearFitter,
     fit_incremental_polynomial,
@@ -39,6 +40,7 @@ __all__ = [
     "fit_minimax_polynomial",
     "fit_lstsq_polynomial",
     "fit_minimax_surface",
+    "CorridorScanner",
     "IncrementalConstantFitter",
     "IncrementalLinearFitter",
     "fit_incremental_polynomial",

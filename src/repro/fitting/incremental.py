@@ -17,14 +17,18 @@ Greedy Segmentation.  This module provides:
   to some hull edge, so merging the two (sorted) edge-slope sequences and
   evaluating the convex width function at each breakpoint finds it in
   O(hull) time.
-* :func:`longest_feasible_prefix` — the one-pass exact feasibility scanner
-  used by GS for degree 1: maintain the corridor of lines that stay within
-  ``delta`` of every appended point (the classic online convex-hull / slope
-  corridor construction also used by FITing-tree-style PLA and the PGM
-  index), and stop at the first point that empties it.  Amortized O(1) per
-  point, and *exact*: a prefix is accepted iff some line fits it within
-  ``delta``, which by Lemma 1 is the same predicate the per-prefix LP
-  evaluates — so GS boundaries are identical with zero LP solves.
+* :class:`CorridorScanner` / :func:`longest_feasible_prefix` — the one-pass
+  exact feasibility scanner used by GS for degree 1: maintain the corridor of
+  lines that stay within ``delta`` of every appended point (the classic
+  online convex-hull / slope corridor construction also used by
+  FITing-tree-style PLA and the PGM index), and stop at the first point that
+  empties it.  Amortized O(1) per point, and *exact*: a prefix is accepted
+  iff some line fits it within ``delta``, which by Lemma 1 is the same
+  predicate the per-prefix LP evaluates — so GS boundaries are identical
+  with zero LP solves.  The scanner's corridor state survives between
+  :meth:`CorridorScanner.extend` calls, which is what lets the streaming
+  write path (:mod:`repro.stream`) re-segment an appended tail by *resuming*
+  the open last segment instead of re-scanning it from its start.
 * :func:`fit_incremental_polynomial` — drop-in counterpart of
   :func:`repro.fitting.minimax.fit_minimax_polynomial` for ``degree <= 1``.
 
@@ -43,6 +47,7 @@ from .minimax import MinimaxFit, _achieved_error, _scaling, _validate_points
 from .polynomial import Polynomial1D
 
 __all__ = [
+    "CorridorScanner",
     "IncrementalConstantFitter",
     "IncrementalLinearFitter",
     "fit_incremental_polynomial",
@@ -289,15 +294,13 @@ def fit_incremental_polynomial(
     return fit
 
 
-def longest_feasible_prefix(
-    ks: list, vs: list, start: int, stop_limit: int, delta: float
-) -> int:
-    """First index past ``start`` whose prefix admits *no* line within ``delta``.
+class CorridorScanner:
+    """Resumable exact feasibility scanner for one degree-1 segment.
 
-    Exact online feasibility for degree 1 (the slope-corridor construction):
-    a line ``y = a x + b`` fits every point ``(x_i, y_i)`` within ``delta``
+    Holds the slope-corridor state of :func:`longest_feasible_prefix` between
+    calls: a line ``y = a x + b`` fits every scanned point within ``delta``
     iff it passes through all vertical "tube" segments
-    ``[y_i - delta, y_i + delta]``.  The corridor of feasible lines is
+    ``[y_i - delta, y_i + delta]``, and the corridor of such lines is
     maintained through two structures:
 
     * the extreme feasible slopes, each realized by a pivot pair — the
@@ -311,101 +314,184 @@ def longest_feasible_prefix(
     A new point is infeasible exactly when its upper tube end falls below the
     min-slope line or its lower tube end rises above the max-slope line.
 
-    Parameters are plain Python lists (``ndarray.tolist()``) because the scan
-    is a per-element loop: float list access is several times faster than
-    numpy scalar indexing.  Keys must be strictly increasing on
-    ``[start, stop_limit)``.
+    :meth:`extend` feeds a range of points and returns on the first
+    infeasible one; because the corridor survives between calls, a caller
+    that later obtains *more* points (the streaming write path appending to
+    the open last segment) resumes exactly where the previous scan stopped
+    instead of re-scanning the accepted prefix.  Keys must be strictly
+    increasing across everything a single scanner ever sees.
+    """
+
+    __slots__ = (
+        "delta", "_stage", "_alive", "_x0", "_y0",
+        "_r0x", "_r0y", "_r1x", "_r1y", "_r2x", "_r2y", "_r3x", "_r3y",
+        "_upper", "_lower", "_u0", "_l0",
+    )
+
+    def __init__(self, delta: float) -> None:
+        self.delta = float(delta)
+        # Stage 0: no point seen; 1: one point seen; 2: corridor live.
+        self._stage = 0
+        self._alive = True
+
+    @property
+    def alive(self) -> bool:
+        """False once an extend hit an infeasible point (scanner is spent)."""
+        return self._alive
+
+    def extend(self, ks: list, vs: list, start: int, stop_limit: int) -> int:
+        """Scan ``ks[start:stop_limit]``; return the first infeasible index.
+
+        Parameters are plain Python lists (``ndarray.tolist()``) because the
+        scan is a per-element loop: float list access is several times faster
+        than numpy scalar indexing.  Returns ``stop_limit`` when every point
+        fits (the corridor state is retained, so a later ``extend`` resumes);
+        otherwise returns the index of the first point that empties the
+        corridor and marks the scanner dead — the accepted prefix is
+        everything scanned before that index.
+        """
+        if not self._alive:
+            raise FittingError("corridor scanner already hit an infeasible point")
+        delta = self.delta
+        i = start
+        n = stop_limit
+        if self._stage == 0:
+            if i >= n:
+                return n
+            self._x0 = ks[i]
+            self._y0 = vs[i]
+            self._stage = 1
+            i += 1
+        if self._stage == 1:
+            if i >= n:
+                return n
+            # First two points: always feasible, initialize the corridor.
+            x0 = self._x0
+            y0 = self._y0
+            x1 = ks[i]
+            y1 = vs[i]
+            # Rectangle pivots: (r0, r2) span the min-slope line (upper tube
+            # left, lower tube right), (r1, r3) the max-slope line (lower
+            # tube left, upper tube right).
+            self._r0x, self._r0y = x0, y0 + delta
+            self._r1x, self._r1y = x0, y0 - delta
+            self._r2x, self._r2y = x1, y1 - delta
+            self._r3x, self._r3y = x1, y1 + delta
+            # upper: lower convex hull of the upper tube points (candidates
+            # for r0); lower: upper convex hull of the lower tube points
+            # (candidates for r1).
+            self._upper = [(self._r0x, self._r0y), (self._r3x, self._r3y)]
+            self._lower = [(self._r1x, self._r1y), (self._r2x, self._r2y)]
+            self._u0 = 0
+            self._l0 = 0
+            self._stage = 2
+            i += 1
+        if i >= n:
+            return n
+        r0x = self._r0x
+        r0y = self._r0y
+        r1x = self._r1x
+        r1y = self._r1y
+        r2x = self._r2x
+        r2y = self._r2y
+        r3x = self._r3x
+        r3y = self._r3y
+        upper = self._upper
+        lower = self._lower
+        u0 = self._u0
+        l0 = self._l0
+        stop = n
+        while i < n:
+            x = ks[i]
+            y = vs[i]
+            p1y = y + delta
+            p2y = y - delta
+            s1dx = r2x - r0x
+            s1dy = r2y - r0y
+            s2dx = r3x - r1x
+            s2dy = r3y - r1y
+            # Infeasible: upper tube end below the min-slope line, or lower
+            # tube end above the max-slope line.
+            if (p1y - r2y) * s1dx < s1dy * (x - r2x) or (p2y - r3y) * s2dx > s2dy * (x - r3x):
+                self._alive = False
+                stop = i
+                break
+            # The new upper tube end tightens the max-slope line.
+            if (p1y - r1y) * s2dx < s2dy * (x - r1x):
+                k = l0
+                bx, by = lower[k]
+                mdx = bx - x
+                mdy = by - p1y
+                for k2 in range(k + 1, len(lower)):
+                    cx, cy = lower[k2]
+                    vdx = cx - x
+                    vdy = cy - p1y
+                    if vdy * mdx > mdy * vdx:
+                        break
+                    mdx, mdy, k = vdx, vdy, k2
+                r1x, r1y = lower[k]
+                r3x, r3y = x, p1y
+                l0 = k
+                end = len(upper)
+                while end >= u0 + 2:
+                    ox, oy = upper[end - 2]
+                    ax, ay = upper[end - 1]
+                    if (ax - ox) * (p1y - oy) - (ay - oy) * (x - ox) <= 0.0:
+                        end -= 1
+                    else:
+                        break
+                del upper[end:]
+                upper.append((x, p1y))
+            # The new lower tube end tightens the min-slope line.
+            if (p2y - r0y) * s1dx > s1dy * (x - r0x):
+                k = u0
+                bx, by = upper[k]
+                mdx = bx - x
+                mdy = by - p2y
+                for k2 in range(k + 1, len(upper)):
+                    cx, cy = upper[k2]
+                    vdx = cx - x
+                    vdy = cy - p2y
+                    if vdy * mdx < mdy * vdx:
+                        break
+                    mdx, mdy, k = vdx, vdy, k2
+                r0x, r0y = upper[k]
+                r2x, r2y = x, p2y
+                u0 = k
+                end = len(lower)
+                while end >= l0 + 2:
+                    ox, oy = lower[end - 2]
+                    ax, ay = lower[end - 1]
+                    if (ax - ox) * (p2y - oy) - (ay - oy) * (x - ox) >= 0.0:
+                        end -= 1
+                    else:
+                        break
+                del lower[end:]
+                lower.append((x, p2y))
+            i += 1
+        self._r0x = r0x
+        self._r0y = r0y
+        self._r1x = r1x
+        self._r1y = r1y
+        self._r2x = r2x
+        self._r2y = r2y
+        self._r3x = r3x
+        self._r3y = r3y
+        self._u0 = u0
+        self._l0 = l0
+        return stop
+
+
+def longest_feasible_prefix(
+    ks: list, vs: list, start: int, stop_limit: int, delta: float
+) -> int:
+    """First index past ``start`` whose prefix admits *no* line within ``delta``.
+
+    One-shot wrapper over :class:`CorridorScanner` — exact online feasibility
+    for degree 1.  Keys must be strictly increasing on ``[start, stop_limit)``.
 
     Returns the exclusive stop of the longest feasible prefix; the prefix
     ``[start, stop)`` satisfies the bounded ``delta``-error constraint and
     ``stop == stop_limit`` when the whole remainder fits.
     """
-    n = stop_limit
-    if start + 2 > n:
-        return n
-    # First two points: always feasible, initialize the corridor.
-    x0 = ks[start]
-    y0 = vs[start]
-    x1 = ks[start + 1]
-    y1 = vs[start + 1]
-    # Rectangle pivots: (r0, r2) span the min-slope line (upper tube left,
-    # lower tube right), (r1, r3) the max-slope line (lower tube left, upper
-    # tube right).
-    r0x, r0y = x0, y0 + delta
-    r1x, r1y = x0, y0 - delta
-    r2x, r2y = x1, y1 - delta
-    r3x, r3y = x1, y1 + delta
-    # upper: lower convex hull of the upper tube points (candidates for r0);
-    # lower: upper convex hull of the lower tube points (candidates for r1).
-    upper = [(r0x, r0y), (r3x, r3y)]
-    lower = [(r1x, r1y), (r2x, r2y)]
-    u0 = 0
-    l0 = 0
-    i = start + 2
-    while i < n:
-        x = ks[i]
-        y = vs[i]
-        p1y = y + delta
-        p2y = y - delta
-        s1dx = r2x - r0x
-        s1dy = r2y - r0y
-        s2dx = r3x - r1x
-        s2dy = r3y - r1y
-        # Infeasible: upper tube end below the min-slope line, or lower tube
-        # end above the max-slope line.
-        if (p1y - r2y) * s1dx < s1dy * (x - r2x) or (p2y - r3y) * s2dx > s2dy * (x - r3x):
-            return i
-        # The new upper tube end tightens the max-slope line.
-        if (p1y - r1y) * s2dx < s2dy * (x - r1x):
-            k = l0
-            bx, by = lower[k]
-            mdx = bx - x
-            mdy = by - p1y
-            for k2 in range(k + 1, len(lower)):
-                cx, cy = lower[k2]
-                vdx = cx - x
-                vdy = cy - p1y
-                if vdy * mdx > mdy * vdx:
-                    break
-                mdx, mdy, k = vdx, vdy, k2
-            r1x, r1y = lower[k]
-            r3x, r3y = x, p1y
-            l0 = k
-            end = len(upper)
-            while end >= u0 + 2:
-                ox, oy = upper[end - 2]
-                ax, ay = upper[end - 1]
-                if (ax - ox) * (p1y - oy) - (ay - oy) * (x - ox) <= 0.0:
-                    end -= 1
-                else:
-                    break
-            del upper[end:]
-            upper.append((x, p1y))
-        # The new lower tube end tightens the min-slope line.
-        if (p2y - r0y) * s1dx > s1dy * (x - r0x):
-            k = u0
-            bx, by = upper[k]
-            mdx = bx - x
-            mdy = by - p2y
-            for k2 in range(k + 1, len(upper)):
-                cx, cy = upper[k2]
-                vdx = cx - x
-                vdy = cy - p2y
-                if vdy * mdx < mdy * vdx:
-                    break
-                mdx, mdy, k = vdx, vdy, k2
-            r0x, r0y = upper[k]
-            r2x, r2y = x, p2y
-            u0 = k
-            end = len(lower)
-            while end >= l0 + 2:
-                ox, oy = lower[end - 2]
-                ax, ay = lower[end - 1]
-                if (ax - ox) * (p2y - oy) - (ay - oy) * (x - ox) >= 0.0:
-                    end -= 1
-                else:
-                    break
-            del lower[end:]
-            lower.append((x, p2y))
-        i += 1
-    return n
+    return CorridorScanner(delta).extend(ks, vs, start, stop_limit)

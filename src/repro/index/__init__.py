@@ -13,6 +13,9 @@
   COUNT, SUM, MIN and MAX queries.
 * :mod:`polyfit2d` — :class:`PolyFit2DIndex`, the two-key COUNT/SUM index
   built on quadtree-segmented polynomial surfaces.
+* :mod:`overlay` — the read-only overlay view the streaming write path
+  (:mod:`repro.stream`) serves queries from: the base directory's certified
+  estimate combined with a frozen, exact delta-buffer snapshot.
 * :mod:`serialization` — JSON round-tripping of built indexes.
 * :mod:`codec` — the zero-copy binary format: one mappable raw-buffer file
   per index, loaded with ``mmap`` so shard worker processes share the
@@ -22,6 +25,7 @@
 from .directory import (
     CellDirectory,
     QuadDirectory,
+    QuadLeafExtremes,
     RangeExtremeTable,
     SegmentDirectory,
     SegmentExtremeDirectory,
@@ -37,13 +41,17 @@ from .polyfit1d import PolyFitIndex
 from .polyfit2d import PolyFit2DIndex
 from .serialization import index_to_dict, index_from_dict, save_index, load_index
 from .codec import save_index_binary, load_index_binary
+from .overlay import DeltaSnapshot, DirectoryOverlay
 
 __all__ = [
     "save_index_binary",
     "load_index_binary",
+    "DeltaSnapshot",
+    "DirectoryOverlay",
     "CellDirectory",
     "SegmentDirectory",
     "QuadDirectory",
+    "QuadLeafExtremes",
     "RangeExtremeTable",
     "SegmentExtremeDirectory",
     "delta_for_absolute",

@@ -34,8 +34,12 @@ from __future__ import annotations
 import json
 import struct
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - the import would be circular at runtime
+    from ..stream.updatable import UpdatablePolyFitIndex
 
 from ..config import Aggregate, QuadTreeConfig
 from ..errors import SerializationError
@@ -348,13 +352,61 @@ def _index2d_from_store(meta: dict, arrays: dict[str, np.ndarray]) -> PolyFit2DI
 
 
 # --------------------------------------------------------------------- #
+# Updatable one-key index (base payload + persisted delta log)
+# --------------------------------------------------------------------- #
+
+
+def _updatable1d_to_store(index) -> tuple[dict, dict[str, np.ndarray]]:
+    """Base index arrays plus the sorted delta log of the current epoch.
+
+    The file is one immutable snapshot: every shard worker that maps it sees
+    the same base directory *and* the same buffered records, so a consistent
+    flush epoch — the write path's analogue of the read path's shared pages.
+    """
+    base_meta, arrays = _index1d_to_store(index.base)
+    snapshot = index.snapshot().delta
+    arrays = dict(arrays)
+    arrays["delta_keys"] = snapshot.keys
+    arrays["delta_measures"] = snapshot.measures
+    meta = {
+        "format_version": _BINARY_FORMAT_VERSION,
+        "kind": "updatable1d",
+        "epoch": index.epoch,
+        "policy": index.policy.to_payload(),
+        "base": base_meta,
+    }
+    return meta, arrays
+
+
+def _updatable1d_from_store(meta: dict, arrays: dict[str, np.ndarray]):
+    from ..stream.policy import CompactionPolicy
+    from ..stream.updatable import UpdatablePolyFitIndex
+
+    base = _index1d_from_store(meta["base"], arrays)
+    return UpdatablePolyFitIndex._restore(  # noqa: SLF001 - codec is a friend module
+        base,
+        CompactionPolicy.from_payload(meta["policy"]),
+        arrays["delta_keys"],
+        arrays["delta_measures"],
+        epoch=int(meta["epoch"]),
+    )
+
+
+# --------------------------------------------------------------------- #
 # Public entry points
 # --------------------------------------------------------------------- #
 
 
-def save_index_binary(index: PolyFitIndex | PolyFit2DIndex, path: str | Path) -> None:
+def save_index_binary(
+    index: "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex",
+    path: str | Path,
+) -> None:
     """Serialize a built index to the zero-copy binary format."""
-    if isinstance(index, PolyFit2DIndex):
+    from ..stream.updatable import UpdatablePolyFitIndex
+
+    if isinstance(index, UpdatablePolyFitIndex):
+        meta, arrays = _updatable1d_to_store(index)
+    elif isinstance(index, PolyFit2DIndex):
         meta, arrays = _index2d_to_store(index)
     elif isinstance(index, PolyFitIndex):
         meta, arrays = _index1d_to_store(index)
@@ -363,7 +415,9 @@ def save_index_binary(index: PolyFitIndex | PolyFit2DIndex, path: str | Path) ->
     write_array_store(path, arrays, meta)
 
 
-def load_index_binary(path: str | Path, *, mmap: bool = True) -> PolyFitIndex | PolyFit2DIndex:
+def load_index_binary(
+    path: str | Path, *, mmap: bool = True
+) -> "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex":
     """Load an index written by :func:`save_index_binary`.
 
     With ``mmap=True`` (default) the heavy arrays — the sampled target
@@ -381,6 +435,8 @@ def load_index_binary(path: str | Path, *, mmap: bool = True) -> PolyFitIndex | 
             return _index1d_from_store(meta, arrays)
         if kind == "polyfit2d":
             return _index2d_from_store(meta, arrays)
+        if kind == "updatable1d":
+            return _updatable1d_from_store(meta, arrays)
     except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(f"malformed binary index payload: {exc}") from exc
     raise SerializationError(f"unknown binary index kind {kind!r}")

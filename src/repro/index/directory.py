@@ -41,6 +41,7 @@ __all__ = [
     "CellDirectory",
     "SegmentDirectory",
     "QuadDirectory",
+    "QuadLeafExtremes",
     "SegmentExtremeDirectory",
     "RangeExtremeTable",
 ]
@@ -271,6 +272,9 @@ class QuadDirectory(CellDirectory):
         self.num_exact_samples = int(
             ((spans[:, 1] - spans[:, 0] + 1) * (spans[:, 3] - spans[:, 2] + 1)).sum()
         ) if spans.size else 0
+        # Optional rectangle MAX/MIN payload (attach_extremes), mirroring the
+        # 1-D directory's lazily attached extreme payload.
+        self.point_extremes: QuadLeafExtremes | None = None
 
     @classmethod
     def from_quadtree(
@@ -410,6 +414,96 @@ class QuadDirectory(CellDirectory):
             out[exact] = self.grid_cf[ii, jj]
         return out
 
+    def attach_extremes(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        measures: np.ndarray,
+        aggregate: Aggregate,
+    ) -> "QuadLeafExtremes":
+        """Build the rectangle MAX/MIN payload over a point set.
+
+        The 1-D :class:`SegmentExtremeDirectory` pattern lifted to the leaf
+        grid: every point is assigned to its covering leaf with one
+        vectorized :meth:`locate_batch` pass, the per-leaf extreme measures
+        become the stored payload (exact — the 2-D analogue of the 1-D
+        per-segment true extremes), and a CSR grouping of the points by leaf
+        row serves the partially covered boundary leaves.  Idempotent for
+        the same aggregate; re-attaching the opposite extremum is rejected.
+        """
+        if not aggregate.is_extremum:
+            raise QueryError("extreme payload applies to MAX/MIN only")
+        maximize = aggregate is Aggregate.MAX
+        if self.point_extremes is not None:
+            if self.point_extremes.maximize is not maximize:
+                raise QueryError(
+                    "directory already carries extremes for the opposite aggregate"
+                )
+            return self.point_extremes
+        rows = self.locate_batch(xs, ys)
+        self.point_extremes = QuadLeafExtremes(
+            xs=np.asarray(xs, dtype=np.float64),
+            ys=np.asarray(ys, dtype=np.float64),
+            measures=np.asarray(measures, dtype=np.float64),
+            rows=rows,
+            num_cells=len(self),
+            maximize=maximize,
+        )
+        return self.point_extremes
+
+    def range_extreme(
+        self, x_low: float, x_high: float, y_low: float, y_high: float
+    ) -> float:
+        """Exact rectangle MAX/MIN via the per-leaf extreme payload (scalar).
+
+        Leaves fully inside the query rectangle contribute their stored
+        extreme; partially covered boundary leaves scan only their own
+        points (CSR slice).  NaN for an empty rectangle, matching the 1-D
+        empty-range convention.  Requires :meth:`attach_extremes`.
+        """
+        if x_high < x_low or y_high < y_low:
+            raise QueryError("invalid rectangle bounds")
+        if self.point_extremes is None:
+            raise QueryError("call attach_extremes() before range_extreme()")
+        lows = self.lows
+        highs = self.highs
+        intersecting = (
+            (lows[:, 0] <= x_high)
+            & (highs[:, 0] >= x_low)
+            & (lows[:, 1] <= y_high)
+            & (highs[:, 1] >= y_low)
+        )
+        covered = (
+            intersecting
+            & (lows[:, 0] >= x_low)
+            & (highs[:, 0] <= x_high)
+            & (lows[:, 1] >= y_low)
+            & (highs[:, 1] <= y_high)
+        )
+        return self.point_extremes.merge(
+            covered, np.nonzero(intersecting & ~covered)[0], x_low, x_high, y_low, y_high
+        )
+
+    def range_extreme_batch(
+        self,
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+    ) -> np.ndarray:
+        """Per-query loop over :meth:`range_extreme` (convenience wrapper).
+
+        A fully vectorized 2-D extreme path (leaf prefix grids) is a ROADMAP
+        follow-up; this keeps the batch call shape available meanwhile.
+        """
+        out = np.empty(len(np.atleast_1d(x_lows)), dtype=np.float64)
+        for i, bounds in enumerate(zip(
+            np.atleast_1d(x_lows), np.atleast_1d(x_highs),
+            np.atleast_1d(y_lows), np.atleast_1d(y_highs),
+        )):
+            out[i] = self.range_extreme(*bounds)
+        return out
+
     def size_in_bytes(self) -> int:
         """Footprint of the flat directory (8 bytes per stored float).
 
@@ -463,6 +557,89 @@ class QuadDirectory(CellDirectory):
             grid_x=grid_x,
             grid_y=grid_y,
             grid_cf=grid_cf,
+        )
+
+
+class QuadLeafExtremes:
+    """Per-leaf extreme payload for rectangle MAX/MIN over a 2-D point set.
+
+    Stores the exact extreme measure of every leaf plus a CSR grouping of
+    the points by leaf row (points sorted by leaf, one offsets array), so a
+    rectangle query resolves fully covered leaves from the stored extremes
+    and scans only the boundary leaves' own points — the leaf-grid analogue
+    of the 1-D interior-table + boundary-segment merge.
+    """
+
+    def __init__(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        measures: np.ndarray,
+        rows: np.ndarray,
+        num_cells: int,
+        maximize: bool,
+    ) -> None:
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        measures = np.ascontiguousarray(measures, dtype=np.float64)
+        if not (xs.ndim == 1 and xs.shape == ys.shape == measures.shape):
+            raise QueryError("points and measures must be equal-length 1-D arrays")
+        rows = np.asarray(rows, dtype=np.intp)
+        order = np.argsort(rows, kind="stable")
+        self.xs = xs[order]
+        self.ys = ys[order]
+        self.measures = measures[order]
+        self.offsets = np.zeros(num_cells + 1, dtype=np.intp)
+        counts = np.bincount(rows, minlength=num_cells)
+        np.cumsum(counts, out=self.offsets[1:])
+        self.maximize = bool(maximize)
+        fill = -np.inf if maximize else np.inf
+        self.leaf_extremes = np.full(num_cells, fill, dtype=np.float64)
+        if rows.size:
+            combine_at = np.maximum.at if maximize else np.minimum.at
+            combine_at(self.leaf_extremes, rows, measures)
+        self._fill = fill
+
+    def merge(
+        self,
+        covered: np.ndarray,
+        partial_rows: np.ndarray,
+        x_low: float,
+        x_high: float,
+        y_low: float,
+        y_high: float,
+    ) -> float:
+        """Merge stored extremes of covered leaves with boundary-leaf scans."""
+        reduce = np.max if self.maximize else np.min
+        best = self._fill
+        occupied = covered & (self.offsets[1:] > self.offsets[:-1])
+        if np.any(occupied):
+            best = float(reduce(self.leaf_extremes[occupied]))
+        for row in partial_rows:
+            start, stop = self.offsets[row], self.offsets[row + 1]
+            if stop <= start:
+                continue
+            inside = (
+                (self.xs[start:stop] >= x_low)
+                & (self.xs[start:stop] <= x_high)
+                & (self.ys[start:stop] >= y_low)
+                & (self.ys[start:stop] <= y_high)
+            )
+            if np.any(inside):
+                value = float(reduce(self.measures[start:stop][inside]))
+                best = max(best, value) if self.maximize else min(best, value)
+        if not np.isfinite(best):
+            return float("nan")
+        return best
+
+    def size_in_bytes(self) -> int:
+        """Footprint of the payload arrays."""
+        return int(
+            self.xs.nbytes
+            + self.ys.nbytes
+            + self.measures.nbytes
+            + self.offsets.nbytes
+            + self.leaf_extremes.nbytes
         )
 
 

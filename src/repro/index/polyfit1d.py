@@ -231,6 +231,11 @@ class PolyFitIndex:
         return self._delta
 
     @property
+    def certified_bound(self) -> float:
+        """Construction-time certified absolute error bound (Lemma 2 / 4)."""
+        return self._certified_bound
+
+    @property
     def num_segments(self) -> int:
         """Number of fitted segments (``h`` in Figure 6)."""
         return len(self._segments)

@@ -153,6 +153,11 @@ class PolyFit2DIndex:
         return self._aggregate
 
     @property
+    def certified_bound(self) -> float:
+        """Construction-time certified absolute error bound (Lemma 6)."""
+        return self._certified_bound
+
+    @property
     def num_leaves(self) -> int:
         """Number of quadtree leaf cells."""
         return len(self._root.leaves())

@@ -23,8 +23,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - the import would be circular at runtime
+    from ..stream.updatable import UpdatablePolyFitIndex
 
 from ..config import Aggregate, FitConfig, IndexConfig, QuadTreeConfig, SegmentationConfig
 from ..errors import QueryError, SerializationError
@@ -52,20 +56,70 @@ _FORMAT_VERSION = 1
 _FORMAT_VERSION_2D = 1
 
 
-def index_to_dict(index: PolyFitIndex | PolyFit2DIndex) -> dict:
-    """Serialize a PolyFit index (one- or two-key) to a JSON-compatible dict."""
+def index_to_dict(
+    index: "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex",
+) -> dict:
+    """Serialize a PolyFit index (one- or two-key, or updatable) to a dict."""
+    from ..stream.updatable import UpdatablePolyFitIndex
+
+    if isinstance(index, UpdatablePolyFitIndex):
+        return _updatable1d_to_dict(index)
     if isinstance(index, PolyFit2DIndex):
         return _index2d_to_dict(index)
-    return _index1d_to_dict(index)
+    if isinstance(index, PolyFitIndex):
+        return _index1d_to_dict(index)
+    raise SerializationError(f"cannot serialize {type(index)!r}")
 
 
-def index_from_dict(payload: dict) -> PolyFitIndex | PolyFit2DIndex:
+def index_from_dict(
+    payload: dict,
+) -> "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex":
     """Rebuild a PolyFit index from :func:`index_to_dict` output."""
     if not isinstance(payload, dict):
         raise SerializationError(f"malformed index payload: {type(payload)!r}")
     if payload.get("kind") == "polyfit2d":
         return _index2d_from_dict(payload)
+    if payload.get("kind") == "updatable1d":
+        return _updatable1d_from_dict(payload)
     return _index1d_from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# Updatable one-key index (base payload + delta log)
+# --------------------------------------------------------------------- #
+
+
+def _updatable1d_to_dict(index) -> dict:
+    snapshot = index.snapshot().delta
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "updatable1d",
+        "epoch": index.epoch,
+        "policy": index.policy.to_payload(),
+        "base": _index1d_to_dict(index.base),
+        "delta": {
+            "keys": snapshot.keys.tolist(),
+            "measures": snapshot.measures.tolist(),
+        },
+    }
+
+
+def _updatable1d_from_dict(payload: dict):
+    from ..stream.policy import CompactionPolicy
+    from ..stream.updatable import UpdatablePolyFitIndex
+
+    try:
+        base = _index1d_from_dict(payload["base"])
+        policy = CompactionPolicy.from_payload(payload["policy"])
+        delta_payload = payload["delta"]
+        delta_keys = np.asarray(delta_payload["keys"], dtype=np.float64)
+        delta_measures = np.asarray(delta_payload["measures"], dtype=np.float64)
+        epoch = int(payload["epoch"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed updatable index payload: {exc}") from exc
+    return UpdatablePolyFitIndex._restore(  # noqa: SLF001 - friend module
+        base, policy, delta_keys, delta_measures, epoch=epoch
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -160,20 +214,25 @@ def assemble_index1d(
     segments: list[Segment],
     function_keys: np.ndarray,
     function_values: np.ndarray,
+    config: IndexConfig | None = None,
 ) -> PolyFitIndex:
     """Assemble a one-key index from its persisted payload pieces.
 
-    Shared by the JSON and binary codecs: given the fitted segments and the
-    sampled target function, rebuild the directory and the exact-fallback
-    structures exactly like the original construction did.
+    Shared by the JSON and binary codecs (and by streaming compaction):
+    given the fitted segments and the sampled target function, rebuild the
+    directory and the exact-fallback structures exactly like the original
+    construction did.  ``config`` overrides the reconstructed configuration
+    when the caller still holds the original (compaction preserves the
+    solver/early-accept knobs that are not serialized).
     """
     keys = function_keys
     values = function_values
-    config = IndexConfig(
-        fit=FitConfig(degree=degree),
-        segmentation=SegmentationConfig(delta=delta, method=segmentation_method),
-        fanout=fanout,
-    )
+    if config is None:
+        config = IndexConfig(
+            fit=FitConfig(degree=degree),
+            segmentation=SegmentationConfig(delta=delta, method=segmentation_method),
+            fanout=fanout,
+        )
     directory = SegmentDirectory.from_segments(segments)
 
     cumulative = None
@@ -340,7 +399,7 @@ _BINARY_SUFFIXES = (".pfbin", ".bin")
 
 
 def save_index(
-    index: PolyFitIndex | PolyFit2DIndex,
+    index: "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex",
     path: str | Path,
     *,
     format: str = "auto",
@@ -368,7 +427,9 @@ def save_index(
         raise SerializationError(f"cannot write index to {path}: {exc}") from exc
 
 
-def load_index(path: str | Path, *, mmap: bool = True) -> PolyFitIndex | PolyFit2DIndex:
+def load_index(
+    path: str | Path, *, mmap: bool = True
+) -> "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex":
     """Load an index previously written by :func:`save_index`.
 
     The codec is sniffed from the file content (the binary format starts

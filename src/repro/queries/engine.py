@@ -146,7 +146,16 @@ class QueryEngine:
         large workloads into ``num_shards`` chunks fanned out over the
         chosen ``executor`` ("thread" or "process") and merged in input
         order; results stay bit-identical to the serial path.  Call
-        :meth:`close` to release the worker pool.
+        :meth:`close` to release the worker pool, or use the engine as a
+        context manager.
+
+        Updatable indexes (anything exposing ``snapshot()``, e.g.
+        :class:`~repro.stream.updatable.UpdatablePolyFitIndex`) already
+        route their batch path through a frozen per-epoch overlay; the
+        sharded path additionally pins the overlay of the epoch current at
+        engine construction — for *every* callable, scalar included, so the
+        batch/scalar oracle equivalence holds and every worker serves one
+        consistent snapshot even while the index keeps absorbing writes.
         """
         approximate_batch = getattr(index, "query_batch", None)
         exact_batch = getattr(index, "exact_batch", None)
@@ -154,6 +163,13 @@ class QueryEngine:
         if num_shards > 1 and approximate_batch is not None:
             from .sharding import ShardedQueryEngine
 
+            snapshot = getattr(index, "snapshot", None)
+            if callable(snapshot):
+                # Pin one epoch for scalar and batch alike: a live scalar
+                # path next to a frozen batch path would let the two
+                # diverge after an insert.
+                index = snapshot()
+                exact_batch = getattr(index, "exact_batch", None)
             sharded = ShardedQueryEngine(
                 index=index, num_shards=num_shards, executor=executor
             )
@@ -175,6 +191,12 @@ class QueryEngine:
         """Release the sharded worker pool, if one was wired in (idempotent)."""
         if self._sharded is not None:
             self._sharded.close()
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def supports_batch(self) -> bool:

@@ -1,0 +1,30 @@
+"""Streaming ingestion: the delta-buffer write path over the static indexes.
+
+The PolyFit structures are build-once; this package adds the system's first
+mutation lifecycle — inserts, flush epochs, snapshots and compaction:
+
+* :class:`~repro.stream.policy.CompactionPolicy` — when the buffer folds
+  into the base (record cap, base-fraction cap, auto/manual).
+* :class:`~repro.stream.buffer.DeltaBuffer` — arrival-order record buffer
+  with a cached sorted snapshot per flush epoch.
+* :class:`~repro.stream.updatable.UpdatablePolyFitIndex` — the one-key
+  updatable index: exact delta contributions preserve the certified error
+  bounds, and compaction re-segments only the tail from the last unaffected
+  segment boundary (resuming the degree-1 corridor scanner for append-only
+  workloads), producing boundaries identical to a from-scratch build.
+* :class:`~repro.stream.updatable2d.UpdatablePolyFit2DIndex` — the minimal
+  two-key variant: exact :class:`~repro.functions.cumulative2d.Cumulative2D`
+  merge over the buffered points, full rebuild at compaction.
+"""
+
+from .buffer import DeltaBuffer
+from .policy import CompactionPolicy
+from .updatable import UpdatablePolyFitIndex
+from .updatable2d import UpdatablePolyFit2DIndex
+
+__all__ = [
+    "CompactionPolicy",
+    "DeltaBuffer",
+    "UpdatablePolyFitIndex",
+    "UpdatablePolyFit2DIndex",
+]

@@ -1,0 +1,104 @@
+"""Mutable in-memory delta buffer feeding the updatable indexes.
+
+:class:`DeltaBuffer` absorbs inserted (key, measure) records in arrival
+order — appending a chunk is O(chunk) with no sort — and materializes a
+frozen, key-sorted :class:`~repro.index.overlay.DeltaSnapshot` lazily on the
+first query after a mutation.  The snapshot is cached until the next insert,
+so a read-heavy phase pays the sort once per flush epoch, which is what
+keeps the per-query overhead at one ``searchsorted`` per side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import Aggregate
+from ..errors import DataError
+from ..index.overlay import DeltaSnapshot
+
+__all__ = ["DeltaBuffer"]
+
+
+class DeltaBuffer:
+    """Arrival-order record buffer with a cached sorted snapshot."""
+
+    def __init__(self, aggregate: Aggregate) -> None:
+        self._aggregate = aggregate
+        self._key_chunks: list[np.ndarray] = []
+        self._measure_chunks: list[np.ndarray] = []
+        self._size = 0
+        self._snapshot: DeltaSnapshot | None = None
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """Aggregate the buffered records feed."""
+        return self._aggregate
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the buffer holds no records."""
+        return self._size == 0
+
+    def insert(self, keys: np.ndarray, measures: np.ndarray | None = None) -> int:
+        """Append a chunk of records; returns the number inserted.
+
+        Validation mirrors the build path: finite keys, COUNT forces unit
+        measures, SUM requires non-negative measures (the cumulative function
+        must stay monotone), MAX/MIN require measures.  Keys may arrive in
+        any order — ordering is resolved at snapshot/compaction time.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
+        if keys.ndim != 1:
+            raise DataError("inserted keys must be a 1-D array")
+        if keys.size == 0:
+            return 0
+        if not np.all(np.isfinite(keys)):
+            raise DataError("inserted keys contain NaN or infinite values")
+        if self._aggregate is Aggregate.COUNT:
+            measures = np.ones_like(keys)
+        else:
+            if measures is None:
+                raise DataError(f"{self._aggregate.value} inserts require measures")
+            measures = np.atleast_1d(np.asarray(measures, dtype=np.float64))
+            if measures.shape != keys.shape:
+                raise DataError("inserted keys and measures must have equal length")
+            if not np.all(np.isfinite(measures)):
+                raise DataError("inserted measures contain NaN or infinite values")
+            if self._aggregate is Aggregate.SUM and np.any(measures < 0):
+                raise DataError("SUM inserts require non-negative measures")
+        self._key_chunks.append(keys.copy())
+        self._measure_chunks.append(measures.copy())
+        self._size += keys.size
+        self._snapshot = None
+        return int(keys.size)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All buffered records in arrival order (the compaction input)."""
+        if not self._key_chunks:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty.copy()
+        return (
+            np.concatenate(self._key_chunks),
+            np.concatenate(self._measure_chunks),
+        )
+
+    def snapshot(self) -> DeltaSnapshot:
+        """Frozen sorted view of the current contents (cached until mutated)."""
+        if self._snapshot is None:
+            keys, measures = self.arrays()
+            self._snapshot = DeltaSnapshot(keys, measures, self._aggregate)
+        return self._snapshot
+
+    def clear(self) -> None:
+        """Drop all buffered records (after a compaction folded them in)."""
+        self._key_chunks.clear()
+        self._measure_chunks.clear()
+        self._size = 0
+        self._snapshot = None
+
+    def size_in_bytes(self) -> int:
+        """Footprint of the raw chunks (snapshot payload counted separately)."""
+        return int(16 * self._size)

@@ -284,12 +284,12 @@ class TestBaselineBatchEquivalence:
 class TestQueryEngineBatchPath:
     def test_for_index_prefers_batch_and_matches_scalar(self, count_index, tweet_small):
         keys, _ = tweet_small
-        engine = QueryEngine.for_index(count_index, name="PolyFit-2")
-        assert engine.supports_batch
-        queries = generate_range_queries(keys, 50, Aggregate.COUNT, seed=61)
-        guarantee = Guarantee.relative(0.01)
-        batch_pairs = engine.run(queries, guarantee)
-        scalar_pairs = engine.run(queries, guarantee, prefer_batch=False)
+        with QueryEngine.for_index(count_index, name="PolyFit-2") as engine:
+            assert engine.supports_batch
+            queries = generate_range_queries(keys, 50, Aggregate.COUNT, seed=61)
+            guarantee = Guarantee.relative(0.01)
+            batch_pairs = engine.run(queries, guarantee)
+            scalar_pairs = engine.run(queries, guarantee, prefer_batch=False)
         for (batch_result, batch_exact), (scalar_result, scalar_exact) in zip(
             batch_pairs, scalar_pairs
         ):
@@ -299,9 +299,9 @@ class TestQueryEngineBatchPath:
 
     def test_accuracy_identical_between_paths(self, count_index, tweet_small):
         keys, _ = tweet_small
-        engine = QueryEngine.for_index(count_index)
         queries = generate_range_queries(keys, 50, Aggregate.COUNT, seed=62)
-        batch_report = engine.accuracy(queries, Guarantee.absolute(100.0))
+        with QueryEngine.for_index(count_index) as engine:
+            batch_report = engine.accuracy(queries, Guarantee.absolute(100.0))
         scalar_report = QueryEngine(count_index.query, count_index.exact).accuracy(
             queries, Guarantee.absolute(100.0)
         )

@@ -80,3 +80,35 @@ class TestBuildQueryRoundTrip:
 
     def test_query_missing_index_returns_error_code(self, tmp_path):
         assert main(["query", str(tmp_path / "missing.json"), "0", "1"]) == 2
+
+
+class TestIngest:
+    def test_synthetic_stream_compacts_and_reports(self, capsys):
+        assert main(["ingest", "--synthetic", "6000", "--delta", "40",
+                     "--batch-size", "800", "--max-buffer", "1000"]) == 0
+        output = capsys.readouterr().out
+        assert "base:" in output
+        assert "[compacted]" in output
+        assert "done: 6000 records" in output
+        # Every probe error printed must honor the certified bound (2*delta).
+        for line in output.splitlines():
+            if "|err|" in line:
+                error = float(line.split("|err| ")[1].split(")")[0])
+                assert error <= 80.0 + 1e-6
+
+    def test_csv_stream(self, ticks_csv, capsys):
+        csv_path, _, _ = ticks_csv
+        assert main(["ingest", str(csv_path), "--aggregate", "max",
+                     "--eps-abs", "20", "--batch-size", "400"]) == 0
+        output = capsys.readouterr().out
+        assert "done: 2000 records" in output
+
+    def test_requires_exactly_one_source(self, ticks_csv):
+        csv_path, _, _ = ticks_csv
+        assert main(["ingest", "--delta", "10"]) == 2  # neither
+        assert main(["ingest", str(csv_path), "--synthetic", "100",
+                     "--delta", "10"]) == 2  # both
+
+    def test_requires_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--synthetic", "100"])

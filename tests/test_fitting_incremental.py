@@ -357,3 +357,55 @@ class TestExactBatchSweep:
             [cumulative.range_count(*(b[i] for b in bounds)) for i in range(4)]
         )
         assert np.array_equal(batch, scalar)
+
+
+class TestCorridorScannerResume:
+    """The resumable scanner must be indistinguishable from one-shot scans."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=_datasets, delta=st.floats(min_value=0.5, max_value=120.0),
+           split=st.integers(min_value=0, max_value=39))
+    def test_split_extend_equals_one_shot(self, data, delta, split):
+        from repro.fitting import CorridorScanner
+
+        raw_keys, raw_values = data
+        keys = np.unique(np.asarray(raw_keys, dtype=np.float64))
+        if keys.size < 1:
+            return
+        values = np.cumsum(np.asarray(raw_values[: keys.size], dtype=np.float64))
+        keys = keys[: values.size]
+        ks, vs = keys.tolist(), values.tolist()
+        n = len(ks)
+        one_shot = longest_feasible_prefix(ks, vs, 0, n, delta)
+
+        cut = min(split % (n + 1), n)
+        scanner = CorridorScanner(delta)
+        first = scanner.extend(ks, vs, 0, cut)
+        if first < cut:
+            # Infeasibility inside the first chunk: identical stop, and the
+            # scanner refuses to continue.
+            assert first == one_shot
+            assert not scanner.alive
+            with pytest.raises(FittingError):
+                scanner.extend(ks, vs, first, n)
+        else:
+            resumed = scanner.extend(ks, vs, cut, n)
+            assert resumed == one_shot
+
+    def test_resume_across_many_chunks(self):
+        from repro.fitting import CorridorScanner
+
+        keys, values = _random_function(400, seed=77)
+        ks, vs = keys.tolist(), values.tolist()
+        delta = 40.0
+        one_shot = longest_feasible_prefix(ks, vs, 0, len(ks), delta)
+        scanner = CorridorScanner(delta)
+        position = 0
+        result = len(ks)
+        for chunk_end in list(range(13, len(ks), 13)) + [len(ks)]:
+            stop = scanner.extend(ks, vs, position, chunk_end)
+            if stop < chunk_end:
+                result = stop
+                break
+            position = chunk_end
+        assert result == one_shot

@@ -109,3 +109,33 @@ class TestQueryEngine:
         pairs = engine.run(queries)
         assert len(pairs) == 5
         assert all(isinstance(result, QueryResult) for result, _ in pairs)
+
+
+class TestEngineContextManager:
+    def test_with_block_closes_sharded_pool(self):
+        keys = np.sort(np.random.default_rng(0).uniform(0, 1000, 2000))
+        from repro import PolyFitIndex
+
+        index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=50.0)
+        with QueryEngine.for_index(index, num_shards=2) as engine:
+            assert engine is engine.__enter__()  # re-entrant, returns self
+            sharded = engine._sharded
+            assert sharded is not None
+            # Force pool creation through a large-enough workload.
+            lows = np.zeros(2 * sharded._min_queries_per_shard)
+            highs = lows + 10.0
+            engine.run_batch_raw(
+                generate_range_queries(keys, 5, Aggregate.COUNT, seed=1)
+            )
+            sharded.query_batch(lows, highs)
+            assert sharded._pool is not None
+        assert sharded._pool is None  # released on exit
+
+    def test_close_is_idempotent_without_shards(self):
+        keys = np.sort(np.random.default_rng(0).uniform(0, 1000, 500))
+        from repro import PolyFitIndex
+
+        index = PolyFitIndex.build(keys, aggregate=Aggregate.COUNT, delta=50.0)
+        with QueryEngine.for_index(index) as engine:
+            pass
+        engine.close()  # no sharded pool wired in: both closes are no-ops
