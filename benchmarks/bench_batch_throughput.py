@@ -39,6 +39,7 @@ from repro.baselines import (
     SampledBTree,
 )
 from repro.bench import format_table, time_batch_per_query_ns, time_per_query_ns
+from repro.kernels import NUMBA_AVAILABLE, runtime_info
 from repro.queries import queries_to_bounds
 
 ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_batch_throughput.json"
@@ -47,6 +48,9 @@ WORKLOAD_SIZES = [10_000, 100_000]
 #: at most this many queries (their per-query cost is workload-size
 #: independent).
 SCALAR_CAPS = {"S-tree": 2_000, "PolyFit-2D-COUNT": 4_000}
+#: The 2-D extreme scalar oracle intersects every leaf per query; cap it the
+#: same way.
+EXTREME_SCALAR_CAP = 2_000
 
 
 def _measure(
@@ -169,6 +173,147 @@ def run_benchmark_2d(
     return results
 
 
+def run_benchmark_2d_extreme(
+    xs: np.ndarray, ys: np.ndarray, workload_sizes=WORKLOAD_SIZES
+) -> dict:
+    """Rectangle MAX: pinned scalar oracle vs the vectorized extreme tree.
+
+    The scalar oracle intersects every leaf per query; the vectorized path
+    answers the whole batch through the dyadic x-rank decomposition in
+    O(log^2 n) NumPy passes.  MAX over a point subset is the same float
+    whatever the evaluation order, so the paths must agree *exactly*
+    (``array_equal`` with ``equal_nan`` — no tolerance).  When numba is
+    importable the compiled x-window scan kernel is measured as a third
+    column under the same exact-equality gate.
+    """
+    rng = np.random.default_rng(271)
+    measures = rng.uniform(0.0, 100.0, xs.size)
+    index = PolyFit2DIndex.build(
+        xs, ys, guarantee=Guarantee.absolute(1000.0), grid_resolution=128
+    )
+    directory = index.directory
+    directory.attach_extremes(xs, ys, measures, Aggregate.MAX)
+    results: dict = {
+        "description": "scalar vs vectorized rectangle MAX (two keys, exact)",
+        "dataset_size": int(xs.size),
+        "workloads": {},
+    }
+    for num_queries in workload_sizes:
+        queries = generate_rectangle_queries(xs, ys, num_queries, seed=137)
+        bounds = queries_to_bounds(queries)
+        cap = min(EXTREME_SCALAR_CAP, num_queries)
+        capped = tuple(bound[:cap] for bound in bounds)
+        # Both sides are best-of-repeats with a warmup pass: the scalar
+        # oracle's cold-cache first pass otherwise swings the measured ratio
+        # by 2x run to run, which is noise, not speedup.
+        scalar = time_batch_per_query_ns(
+            lambda: directory.range_extreme_batch(*capped, force_scalar=True),
+            cap, repeats=2, method="extreme-scalar",
+        )
+        vector = time_batch_per_query_ns(
+            lambda: directory.range_extreme_batch(*bounds),
+            num_queries, repeats=3, method="extreme-vectorized",
+        )
+        scalar_values = directory.range_extreme_batch(*capped, force_scalar=True)
+        vector_values = directory.range_extreme_batch(*bounds)
+        scalar_qps = 1e9 / scalar.per_query_ns
+        vector_qps = 1e9 / vector.per_query_ns
+        entry = {
+            "scalar_qps": round(scalar_qps),
+            "vectorized_qps": round(vector_qps),
+            "speedup": round(vector_qps / scalar_qps, 2),
+            "identical": bool(
+                np.array_equal(scalar_values, vector_values[:cap], equal_nan=True)
+            ),
+            "scalar_measured_on": cap,
+        }
+        if NUMBA_AVAILABLE:
+            compiled = time_batch_per_query_ns(
+                lambda: directory.range_extreme_batch(*bounds, kernel="numba"),
+                num_queries, repeats=2, method="extreme-numba",
+            )
+            compiled_values = directory.range_extreme_batch(*bounds, kernel="numba")
+            compiled_qps = 1e9 / compiled.per_query_ns
+            entry["numba_qps"] = round(compiled_qps)
+            entry["numba_speedup"] = round(compiled_qps / scalar_qps, 2)
+            entry["numba_identical"] = bool(
+                np.array_equal(vector_values, compiled_values, equal_nan=True)
+            )
+        results["workloads"][str(num_queries)] = entry
+    return results
+
+
+def run_benchmark_fused(keys: np.ndarray, workload_sizes=WORKLOAD_SIZES) -> dict:
+    """Fused-kernel section: the 1-D NumPy multi-pass path vs the compiled pass.
+
+    Without numba the section still records the NumPy-path throughput (and
+    the runtime flags say why the numba columns are absent), so artifacts
+    from numba-less environments remain comparable.
+    """
+    index = PolyFitIndex.build(
+        keys, aggregate=Aggregate.COUNT, guarantee=Guarantee.absolute(100.0)
+    )
+    guarantee = Guarantee.relative(0.05)
+    results: dict = {
+        "description": "1-D query_batch: numpy multi-pass vs fused numba kernel",
+        "dataset_size": int(keys.size),
+        "workloads": {},
+    }
+    for num_queries in workload_sizes:
+        queries = generate_range_queries(keys, num_queries, Aggregate.COUNT, seed=271)
+        bounds = queries_to_bounds(queries)
+        index.set_kernel("numpy")
+        numpy_timing = time_batch_per_query_ns(
+            lambda: index.query_batch(*bounds, guarantee),
+            num_queries, repeats=2, method="fused-numpy",
+        )
+        numpy_values = index.query_batch(*bounds, guarantee).values
+        numpy_qps = 1e9 / numpy_timing.per_query_ns
+        entry = {"numpy_qps": round(numpy_qps)}
+        if NUMBA_AVAILABLE:
+            index.set_kernel("numba")
+            numba_timing = time_batch_per_query_ns(
+                lambda: index.query_batch(*bounds, guarantee),
+                num_queries, repeats=2, method="fused-numba",
+            )
+            numba_values = index.query_batch(*bounds, guarantee).values
+            numba_qps = 1e9 / numba_timing.per_query_ns
+            entry["numba_qps"] = round(numba_qps)
+            entry["speedup"] = round(numba_qps / numpy_qps, 2)
+            entry["identical"] = bool(
+                np.array_equal(numpy_values, numba_values, equal_nan=True)
+            )
+            index.set_kernel("auto")
+        results["workloads"][str(num_queries)] = entry
+    return results
+
+
+def check_gates(extreme: dict, fused: dict) -> list[str]:
+    """Acceptance gates over the kernel sections; returns failure messages.
+
+    * vectorized 2-D extremes: >= 20x over the scalar oracle at the largest
+      workload, exactly equal on the oracle subsample;
+    * every numba column (enforced only where numba is importable): exactly
+      equal to its NumPy counterpart.
+    """
+    failures = []
+    largest = str(WORKLOAD_SIZES[-1])
+    entry = extreme["workloads"][largest]
+    if not entry["identical"]:
+        failures.append("2-D extreme vectorized path diverges from the scalar oracle")
+    if entry["speedup"] < 20.0:
+        failures.append(
+            f"2-D extreme speedup {entry['speedup']}x below the 20x gate"
+        )
+    for section in (extreme, fused):
+        for size, values in section["workloads"].items():
+            if "numba_identical" in values and not values["numba_identical"]:
+                failures.append(f"numba extreme kernel diverges at {size} queries")
+            if "identical" in values and section is fused and not values["identical"]:
+                failures.append(f"fused numba kernel diverges at {size} queries")
+    return failures
+
+
 def _print_results(results: dict, label: str = "Batch throughput") -> None:
     for num_queries in results["workload_sizes"]:
         rows = []
@@ -193,9 +338,66 @@ def _print_results(results: dict, label: str = "Batch throughput") -> None:
         )
 
 
-def _write_artifact(one_key: dict, two_key: dict) -> None:
+def _print_extreme_results(extreme: dict) -> None:
+    rows = []
+    for size, entry in extreme["workloads"].items():
+        rows.append(
+            [
+                size,
+                entry["scalar_qps"],
+                entry["vectorized_qps"],
+                f"{entry['speedup']}x",
+                entry.get("numba_qps", "-"),
+                "yes" if entry["identical"] else "NO",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["queries", "scalar q/s", "vectorized q/s", "speedup", "numba q/s", "identical"],
+            rows,
+            title="Rectangle MAX: scalar oracle vs vectorized extreme tree",
+        )
+    )
+
+
+def _print_fused_results(fused: dict) -> None:
+    rows = []
+    for size, entry in fused["workloads"].items():
+        rows.append(
+            [
+                size,
+                entry["numpy_qps"],
+                entry.get("numba_qps", "-"),
+                f"{entry['speedup']}x" if "speedup" in entry else "-",
+                "yes" if entry.get("identical") else ("NO" if "identical" in entry else "-"),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["queries", "numpy q/s", "numba q/s", "speedup", "identical"],
+            rows,
+            title="Fused 1-D kernel: numpy multi-pass vs compiled pass",
+        )
+    )
+
+
+def _write_artifact(
+    one_key: dict, two_key: dict, two_key_extreme: dict, fused: dict
+) -> None:
     ARTIFACT_PATH.write_text(
-        json.dumps({**one_key, "two_key": two_key}, indent=2) + "\n"
+        json.dumps(
+            {
+                **one_key,
+                "two_key": two_key,
+                "two_key_extreme": two_key_extreme,
+                "fused_kernel": fused,
+                "kernel_runtime": runtime_info(),
+            },
+            indent=2,
+        )
+        + "\n"
     )
     print(f"\nartifact written to {ARTIFACT_PATH}")
 
@@ -208,7 +410,11 @@ def test_batch_throughput(tweet_data, osm_data):
     xs, ys = osm_data
     results_2d = run_benchmark_2d(xs, ys)
     _print_results(results_2d, label="Batch throughput (two keys)")
-    _write_artifact(results, results_2d)
+    results_extreme = run_benchmark_2d_extreme(xs, ys)
+    _print_extreme_results(results_extreme)
+    results_fused = run_benchmark_fused(keys)
+    _print_fused_results(results_fused)
+    _write_artifact(results, results_2d, results_extreme, results_fused)
 
     for section in (results, results_2d):
         for name, sizes in section["methods"].items():
@@ -223,9 +429,13 @@ def test_batch_throughput(tweet_data, osm_data):
         f"expected >= 10x 2-D batch speedup over the per-corner descent, "
         f"got {polyfit2d_100k['speedup']}x"
     )
+    failures = check_gates(results_extreme, results_fused)
+    assert not failures, "; ".join(failures)
 
 
 if __name__ == "__main__":
+    import sys
+
     from repro.datasets import osm_points, tweet_latitudes
 
     dataset_keys, _ = tweet_latitudes(60_000, seed=101)
@@ -234,4 +444,16 @@ if __name__ == "__main__":
     points_x, points_y = osm_points(80_000, seed=103)
     bench_results_2d = run_benchmark_2d(points_x, points_y)
     _print_results(bench_results_2d, label="Batch throughput (two keys)")
-    _write_artifact(bench_results, bench_results_2d)
+    bench_results_extreme = run_benchmark_2d_extreme(points_x, points_y)
+    _print_extreme_results(bench_results_extreme)
+    bench_results_fused = run_benchmark_fused(dataset_keys)
+    _print_fused_results(bench_results_fused)
+    _write_artifact(
+        bench_results, bench_results_2d, bench_results_extreme, bench_results_fused
+    )
+    gate_failures = check_gates(bench_results_extreme, bench_results_fused)
+    if gate_failures:
+        for failure in gate_failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("all kernel gates passed")

@@ -253,6 +253,9 @@ def _check_results(results: dict, *, strict_timing: bool = True) -> None:
 
 
 def _write_artifact(results: dict) -> None:
+    from repro.kernels import runtime_info
+
+    results = {**results, "kernel_runtime": runtime_info()}
     ARTIFACT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(f"\nartifact written to {ARTIFACT_PATH}")
 

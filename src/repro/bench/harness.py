@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from ..errors import QueryError
 
 __all__ = [
@@ -38,12 +40,20 @@ class MethodTiming:
         Number of queries in the workload.
     repeats:
         Number of measured repeats.
+    p50_ns, p95_ns, p99_ns:
+        Percentiles of the per-query latency across the measured repeats
+        (each repeat contributes one ``elapsed / total_queries`` sample, so
+        the spread reflects run-to-run jitter, not per-query variance).
+        NaN when the producing helper does not record them.
     """
 
     method: str
     per_query_ns: float
     total_queries: int
     repeats: int
+    p50_ns: float = float("nan")
+    p95_ns: float = float("nan")
+    p99_ns: float = float("nan")
 
 
 def time_per_query_ns(
@@ -76,20 +86,20 @@ def time_per_query_ns(
     if warmup:
         for query in queries:
             run_query(query)
-    best_total = None
+    samples = []
     for _ in range(repeats):
         start = time.perf_counter_ns()
         for query in queries:
             run_query(query)
-        elapsed = time.perf_counter_ns() - start
-        if best_total is None or elapsed < best_total:
-            best_total = elapsed
-    assert best_total is not None
+        samples.append((time.perf_counter_ns() - start) / len(queries))
     return MethodTiming(
         method=method,
-        per_query_ns=best_total / len(queries),
+        per_query_ns=min(samples),
         total_queries=len(queries),
         repeats=repeats,
+        p50_ns=float(np.percentile(samples, 50)),
+        p95_ns=float(np.percentile(samples, 95)),
+        p99_ns=float(np.percentile(samples, 99)),
     )
 
 
@@ -115,19 +125,19 @@ def time_batch_per_query_ns(
         raise QueryError("repeats must be >= 1")
     if warmup:
         run_batch()
-    best_total = None
+    samples = []
     for _ in range(repeats):
         start = time.perf_counter_ns()
         run_batch()
-        elapsed = time.perf_counter_ns() - start
-        if best_total is None or elapsed < best_total:
-            best_total = elapsed
-    assert best_total is not None
+        samples.append((time.perf_counter_ns() - start) / num_queries)
     return MethodTiming(
         method=method,
-        per_query_ns=best_total / num_queries,
+        per_query_ns=min(samples),
         total_queries=num_queries,
         repeats=repeats,
+        p50_ns=float(np.percentile(samples, 50)),
+        p95_ns=float(np.percentile(samples, 95)),
+        p99_ns=float(np.percentile(samples, 99)),
     )
 
 

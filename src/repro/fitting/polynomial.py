@@ -215,6 +215,20 @@ class PolynomialBank:
         view.flags.writeable = False
         return view
 
+    @property
+    def shifts(self) -> np.ndarray:
+        """The ``(h,)`` per-row input shifts (read-only view)."""
+        view = self._shifts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def scales(self) -> np.ndarray:
+        """The ``(h,)`` per-row input scales (read-only view)."""
+        view = self._scales.view()
+        view.flags.writeable = False
+        return view
+
     def evaluate(self, rows: np.ndarray, keys: np.ndarray) -> np.ndarray:
         """Evaluate ``polynomial[rows[i]](keys[i])`` for all ``i`` at once.
 

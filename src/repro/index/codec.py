@@ -66,7 +66,11 @@ BINARY_MAGIC = b"PFITBIN\x01"
 #: keeps each array cache-line aligned inside the mapping.
 _ALIGNMENT = 64
 
-_BINARY_FORMAT_VERSION = 1
+#: v2 adds the optional 2-D point-extreme payload (``ext_*`` arrays plus the
+#: ``extreme_aggregate`` meta key).  v1 files remain loadable: the addition is
+#: purely additive, so the reader accepts both versions.
+_BINARY_FORMAT_VERSION = 2
+_SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
 
 
 def _aligned(offset: int) -> int:
@@ -294,6 +298,17 @@ def _index2d_to_store(index: PolyFit2DIndex) -> tuple[dict, dict[str, np.ndarray
     if exact.weights is not None:
         arrays["weights"] = exact.weights
         arrays["weights_sorted_by_x"] = exact.weights_sorted_by_x
+    extremes = directory.point_extremes
+    if extremes is not None:
+        # The leaf-sorted point arrays are enough to rebuild the payload:
+        # attach_extremes re-runs the deterministic locate pass on load, and
+        # a stable sort of already-grouped points is the identity.
+        meta["extreme_aggregate"] = (
+            Aggregate.MAX.value if extremes.maximize else Aggregate.MIN.value
+        )
+        arrays["ext_xs"] = extremes.xs
+        arrays["ext_ys"] = extremes.ys
+        arrays["ext_measures"] = extremes.measures
     return meta, arrays
 
 
@@ -332,6 +347,14 @@ def _index2d_from_store(meta: dict, arrays: dict[str, np.ndarray]) -> PolyFit2DI
         grid_y=arrays["grid_y"],
         grid_cf=arrays["grid_cf"],
     )
+    extreme_aggregate = meta.get("extreme_aggregate")
+    if extreme_aggregate is not None:
+        directory.attach_extremes(
+            arrays["ext_xs"],
+            arrays["ext_ys"],
+            arrays["ext_measures"],
+            Aggregate(extreme_aggregate),
+        )
     config_payload = meta["config"]
     config = QuadTreeConfig(
         delta=float(config_payload["delta"]),
@@ -429,7 +452,7 @@ def load_index_binary(
     try:
         kind = meta["kind"]
         version = meta["format_version"]
-        if version != _BINARY_FORMAT_VERSION:
+        if version not in _SUPPORTED_FORMAT_VERSIONS:
             raise SerializationError(f"unsupported binary format version {version}")
         if kind == "polyfit1d":
             return _index1d_from_store(meta, arrays)

@@ -23,6 +23,10 @@ arrays (the representation threads and mmap can share):
 * :class:`SegmentExtremeDirectory` — per-segment prefix/suffix extreme
   arrays plus range-extreme tables that make the MAX/MIN batch path O(1)
   NumPy calls as well.
+* :class:`RectangleExtremeTree` — the 2-D analogue: a dyadic x-rank merge
+  structure whose levels carry y-sorted blocks with range-extreme tables,
+  answering N rectangle MAX/MIN queries in O(log^2 n) NumPy passes while
+  staying bit-identical to the scalar leaf-merge oracle.
 """
 
 from __future__ import annotations
@@ -42,6 +46,7 @@ __all__ = [
     "SegmentDirectory",
     "QuadDirectory",
     "QuadLeafExtremes",
+    "RectangleExtremeTree",
     "SegmentExtremeDirectory",
     "RangeExtremeTable",
 ]
@@ -490,19 +495,43 @@ class QuadDirectory(CellDirectory):
         x_highs: np.ndarray,
         y_lows: np.ndarray,
         y_highs: np.ndarray,
+        *,
+        force_scalar: bool = False,
+        kernel: str = "numpy",
     ) -> np.ndarray:
-        """Per-query loop over :meth:`range_extreme` (convenience wrapper).
+        """Exact rectangle MAX/MIN for N rectangles — fully vectorized.
 
-        A fully vectorized 2-D extreme path (leaf prefix grids) is a ROADMAP
-        follow-up; this keeps the batch call shape available meanwhile.
+        Answers through the payload's :class:`RectangleExtremeTree` (built
+        lazily on first call): a dyadic decomposition of each query's x-rank
+        window into <= 2 blocks per level, each resolved by one bisection
+        into the level's y-order and one range-extreme table gather, so the
+        whole batch runs in O(log^2 n) NumPy passes with no per-query loop.
+        MAX/MIN over the same point subset is the same float whatever the
+        cover, so answers are bit-identical to :meth:`range_extreme`
+        (including NaN for empty rectangles).  ``force_scalar=True`` keeps
+        the per-query oracle loop reachable for pinning tests and benches;
+        ``kernel="numba"`` routes through the compiled scan kernel instead
+        of the level tables (same floats, see
+        :meth:`QuadLeafExtremes.range_extreme_batch`).
         """
-        out = np.empty(len(np.atleast_1d(x_lows)), dtype=np.float64)
-        for i, bounds in enumerate(zip(
-            np.atleast_1d(x_lows), np.atleast_1d(x_highs),
-            np.atleast_1d(y_lows), np.atleast_1d(y_highs),
-        )):
-            out[i] = self.range_extreme(*bounds)
-        return out
+        x_lows = np.atleast_1d(np.asarray(x_lows, dtype=np.float64))
+        x_highs = np.atleast_1d(np.asarray(x_highs, dtype=np.float64))
+        y_lows = np.atleast_1d(np.asarray(y_lows, dtype=np.float64))
+        y_highs = np.atleast_1d(np.asarray(y_highs, dtype=np.float64))
+        if not (x_lows.shape == x_highs.shape == y_lows.shape == y_highs.shape):
+            raise QueryError("rectangle bound arrays must have matching shapes")
+        if np.any(x_highs < x_lows) or np.any(y_highs < y_lows):
+            raise QueryError("invalid rectangle bounds")
+        if self.point_extremes is None:
+            raise QueryError("call attach_extremes() before range_extreme_batch()")
+        if force_scalar:
+            out = np.empty(x_lows.size, dtype=np.float64)
+            for i, bounds in enumerate(zip(x_lows, x_highs, y_lows, y_highs)):
+                out[i] = self.range_extreme(*bounds)
+            return out
+        return self.point_extremes.range_extreme_batch(
+            x_lows, x_highs, y_lows, y_highs, kernel=kernel
+        )
 
     def size_in_bytes(self) -> int:
         """Footprint of the flat directory (8 bytes per stored float).
@@ -599,6 +628,43 @@ class QuadLeafExtremes:
             combine_at = np.maximum.at if maximize else np.minimum.at
             combine_at(self.leaf_extremes, rows, measures)
         self._fill = fill
+        self._tree: RectangleExtremeTree | None = None
+
+    def range_extreme_batch(
+        self,
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+        *,
+        kernel: str = "numpy",
+    ) -> np.ndarray:
+        """Vectorized rectangle extremes over the payload's point set.
+
+        Lazily builds the :class:`RectangleExtremeTree` (so scalar-only use
+        pays nothing) and reuses it across calls.  ``kernel="numba"`` runs
+        the compiled x-window scan kernel over the tree's sorted point
+        arrays instead of the level tables; extremes over the same point
+        subset are the same float either way, so the backends are
+        bit-identical (``"auto"`` resolves via the package-wide rule).
+        """
+        if self._tree is None:
+            self._tree = RectangleExtremeTree(
+                self.xs, self.ys, self.measures, self.maximize
+            )
+        if kernel != "numpy":
+            from ..kernels import resolve_kernel
+
+            kernel = resolve_kernel(kernel)
+        if kernel == "numba":
+            from ..kernels import fused2d
+
+            xs, ys, measures = self._tree.point_arrays()
+            return fused2d.run_rectangle_extreme(
+                xs, ys, measures, self.maximize,
+                x_lows, x_highs, y_lows, y_highs,
+            )
+        return self._tree.query(x_lows, x_highs, y_lows, y_highs)
 
     def merge(
         self,
@@ -640,7 +706,261 @@ class QuadLeafExtremes:
             + self.measures.nbytes
             + self.offsets.nbytes
             + self.leaf_extremes.nbytes
+            + (self._tree.size_in_bytes() if self._tree is not None else 0)
         )
+
+
+class RectangleExtremeTree:
+    """Batch rectangle MAX/MIN over a 2-D point set without per-query loops.
+
+    The 2-D analogue of :class:`SegmentExtremeDirectory`: points are sorted
+    by x, and every dyadic level re-sorts aligned x-rank blocks (64-point
+    base blocks, doubling up to a block covering everything) by y, storing
+    the level's measures under a :class:`RangeExtremeTable` in that y-order.
+    A rectangle query selects its x-window with two ``searchsorted`` calls,
+    covers the window with <= 2 aligned blocks per level (the canonical
+    dyadic decomposition) plus two masked base-block partials, and resolves
+    each block with integer ``searchsorted`` calls into the level's sorted
+    ``(block, y-rank)`` composites followed by one table query — O(log n)
+    C-level passes for the whole batch.
+
+    Exactness: MAX/MIN over a point subset is the same float under any
+    cover (even an overlapping one), so answers are bit-identical to the
+    brute-force scan and to the scalar leaf-merge oracle — including the
+    NaN convention for rectangles containing no point.  Memory is roughly
+    ``4 * n * num_levels`` floats; levels start at 64-point blocks to keep
+    the multiplier at ``~4 * log2(n / 64)``.
+    """
+
+    #: log2 of the base block size.  X-window pieces narrower than a base
+    #: block (head/tail remainders and level-0 emissions) are answered by a
+    #: fixed-width masked gather over the x-order, so no y-sorted level is
+    #: stored for spans <= 32.
+    BASE_SHIFT = 5
+
+    #: Queries are processed in chunks of this size so the widest transient
+    #: (the ``2*chunk x 32`` fused head/tail gather) stays under ~17 MiB.
+    CHUNK = 32_768
+
+    def __init__(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        measures: np.ndarray,
+        maximize: bool,
+    ) -> None:
+        xs = np.ascontiguousarray(xs, dtype=np.float64)
+        ys = np.ascontiguousarray(ys, dtype=np.float64)
+        measures = np.ascontiguousarray(measures, dtype=np.float64)
+        if not (xs.ndim == 1 and xs.shape == ys.shape == measures.shape):
+            raise QueryError("points and measures must be equal-length 1-D arrays")
+        order = np.argsort(xs, kind="stable")
+        self._xs = xs[order]
+        self._maximize = bool(maximize)
+        self._combine = np.maximum if maximize else np.minimum
+        self._fill = -np.inf if maximize else np.inf
+        n = self._xs.size
+        base = 1 << self.BASE_SHIFT
+        # NaN/fill padding lets the fixed-width gathers index past the end
+        # without clamping; padded lanes fail every y-window comparison.
+        self._ys_padded = np.concatenate([ys[order], np.full(base, np.nan)])
+        self._measures_padded = np.concatenate(
+            [measures[order], np.full(base, self._fill)]
+        )
+        self._levels: list[tuple[np.ndarray, RangeExtremeTable]] = []
+        if n == 0:
+            self._num_levels = 0
+            return
+        num_blocks = -(-n // base)
+        self._num_levels = int(num_blocks).bit_length()
+        x_ranks = np.arange(n, dtype=np.int64)
+        ys_sorted = self._ys_padded[:n]
+        measures_sorted = self._measures_padded[:n]
+        # Global y-ranks: within any block, rank order equals y order (the
+        # rank permutation sorts y), so the composite ``(block << shift) |
+        # rank`` is globally sorted per level and an in-block y-window
+        # endpoint is one integer ``searchsorted`` — no per-query bisection.
+        y_order = np.argsort(ys_sorted, kind="stable")
+        y_ranks = np.empty(n, dtype=np.int64)
+        y_ranks[y_order] = np.arange(n, dtype=np.int64)
+        self._ys_by_y = ys_sorted[y_order]
+        self._rank_shift = int(n).bit_length()
+        for level in range(1, self._num_levels):
+            block_ids = x_ranks >> (self.BASE_SHIFT + level)
+            composite = (block_ids << self._rank_shift) | y_ranks
+            level_order = np.argsort(composite)
+            self._levels.append(
+                (
+                    composite[level_order],
+                    RangeExtremeTable(measures_sorted[level_order], self._maximize),
+                )
+            )
+
+    def query(
+        self,
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+    ) -> np.ndarray:
+        """Extremes over N closed rectangles; NaN where no point falls inside."""
+        x_lows = np.atleast_1d(np.asarray(x_lows, dtype=np.float64))
+        x_highs = np.atleast_1d(np.asarray(x_highs, dtype=np.float64))
+        y_lows = np.atleast_1d(np.asarray(y_lows, dtype=np.float64))
+        y_highs = np.atleast_1d(np.asarray(y_highs, dtype=np.float64))
+        total = x_lows.size
+        if self._xs.size == 0:
+            return np.full(total, np.nan)
+        out = np.empty(total, dtype=np.float64)
+        for start in range(0, total, self.CHUNK):
+            stop = min(start + self.CHUNK, total)
+            sl = slice(start, stop)
+            out[sl] = self._query_chunk(
+                x_lows[sl], x_highs[sl], y_lows[sl], y_highs[sl]
+            )
+        return out
+
+    def _query_chunk(
+        self,
+        x_lows: np.ndarray,
+        x_highs: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+    ) -> np.ndarray:
+        base = 1 << self.BASE_SHIFT
+        lo = np.searchsorted(self._xs, x_lows, side="left")
+        hi = np.searchsorted(self._xs, x_highs, side="right")
+        best = np.full(x_lows.shape, self._fill, dtype=np.float64)
+        # Partial base blocks at the window's head and tail (masked gathers).
+        first_block = -(-lo // base)
+        last_block = hi // base
+        head_stop = np.minimum(hi, first_block * base)
+        tail_start = np.maximum(head_stop, last_block * base)
+        partial_values = self._window_values(
+            np.concatenate([lo, tail_start]),
+            np.concatenate([head_stop, hi]),
+            np.concatenate([y_lows, y_lows]),
+            np.concatenate([y_highs, y_highs]),
+        )
+        n_queries = x_lows.size
+        best = self._combine(best, partial_values[:n_queries])
+        best = self._combine(best, partial_values[n_queries:])
+        # The y-window endpoints in global y-rank space, shared by every
+        # level (the per-level composite searchsorted consumes ranks).
+        r_left = np.searchsorted(self._ys_by_y, y_lows, side="left").astype(np.int64)
+        r_right = np.searchsorted(self._ys_by_y, y_highs, side="right").astype(np.int64)
+        # Canonical dyadic cover of the fully contained base-block range,
+        # emitting <= 2 aligned blocks per level (classic bottom-up walk);
+        # both sides of a level resolve in one gather-or-table pass, then
+        # scatter separately (one query may emit on both sides of a level).
+        left = first_block
+        right = np.maximum(last_block, first_block)
+        for level in range(self._num_levels):
+            take = (left < right) & ((left & 1) == 1)
+            rows_l = np.nonzero(take)[0]
+            blocks_l = left[rows_l]
+            left = left + take
+            take = (left < right) & ((right & 1) == 1)
+            right = right - take
+            rows_r = np.nonzero(take)[0]
+            blocks_r = right[rows_r]
+            if rows_l.size or rows_r.size:
+                emit_rows = np.concatenate([rows_l, rows_r])
+                blocks = np.concatenate([blocks_l, blocks_r])
+                if level == 0:
+                    shift = self.BASE_SHIFT
+                    starts = blocks << shift
+                    stops = np.minimum((blocks + 1) << shift, self._xs.size)
+                    values = self._window_values(
+                        starts, stops, y_lows[emit_rows], y_highs[emit_rows]
+                    )
+                else:
+                    values = self._level_values(
+                        level, blocks, r_left[emit_rows], r_right[emit_rows]
+                    )
+                split = rows_l.size
+                best[rows_l] = self._combine(best[rows_l], values[:split])
+                best[rows_r] = self._combine(best[rows_r], values[split:])
+            left >>= 1
+            right >>= 1
+        return np.where(np.isfinite(best), best, np.nan)
+
+    def _window_values(
+        self,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        y_lows: np.ndarray,
+        y_highs: np.ndarray,
+    ) -> np.ndarray:
+        """Extremes over x-rank windows ``[starts, stops)`` (width <= 64).
+
+        One masked fixed-width gather over the padded x-order; windows with
+        no qualifying point yield the fill identity.
+        """
+        values = np.full(starts.shape, self._fill, dtype=np.float64)
+        have = np.nonzero(stops > starts)[0]
+        if have.size == 0:
+            return values
+        s = starts[have]
+        width = int((stops[have] - s).max())
+        idx = s[:, None] + np.arange(width, dtype=np.intp)
+        ys = self._ys_padded[idx]
+        inside = (
+            (idx < stops[have, None])
+            & (ys >= y_lows[have, None])
+            & (ys <= y_highs[have, None])
+        )
+        reduce = np.maximum.reduce if self._maximize else np.minimum.reduce
+        values[have] = reduce(
+            self._measures_padded[idx], axis=1, where=inside, initial=self._fill
+        )
+        return values
+
+    def _level_values(
+        self,
+        level: int,
+        blocks: np.ndarray,
+        r_left: np.ndarray,
+        r_right: np.ndarray,
+    ) -> np.ndarray:
+        """Extremes over one level's aligned blocks clipped to the y-windows.
+
+        ``r_left``/``r_right`` are the y-window endpoints as global y-ranks.
+        The level array holds ``(block << rank_shift) | rank`` composites in
+        ascending order, and the points of block ``b`` with rank below ``r``
+        are exactly the composites below ``(b << rank_shift) + r``, so both
+        window endpoints are plain integer ``searchsorted`` calls.
+        """
+        composite, table = self._levels[level - 1]
+        keys = blocks.astype(np.int64) << self._rank_shift
+        lo_pos = np.searchsorted(composite, keys + r_left, side="left")
+        hi_pos = np.searchsorted(composite, keys + r_right, side="left")
+        values = np.full(blocks.shape, self._fill, dtype=np.float64)
+        nonempty = np.nonzero(hi_pos > lo_pos)[0]
+        if nonempty.size:
+            values[nonempty] = table.query(lo_pos[nonempty], hi_pos[nonempty] - 1)
+        return values
+
+    def point_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The x-sorted ``(xs, ys, measures)`` triple (padding stripped).
+
+        The compiled scan kernel consumes these directly: any backend
+        selecting the extreme over the same x-window / y-filter subset
+        returns the same float, so sharing the sorted arrays keeps every
+        backend pinned to one point order.
+        """
+        n = self._xs.size
+        return self._xs, self._ys_padded[:n], self._measures_padded[:n]
+
+    def size_in_bytes(self) -> int:
+        """Footprint of the level stack plus the x-sorted point arrays."""
+        total = self._xs.nbytes + self._ys_padded.nbytes + self._measures_padded.nbytes
+        total += self._ys_by_y.nbytes if self._levels else 0
+        for composite, table in self._levels:
+            # composite counted twice: the table holds its own same-length
+            # copy of the level's measures.
+            total += 2 * composite.nbytes + table.size_in_bytes()
+        return int(total)
 
 
 #: Finest virtual-grid depth for which the per-axis dyadic boundary arrays
@@ -732,7 +1052,7 @@ class RangeExtremeTable:
     path is O(1) NumPy calls for N windows.
     """
 
-    BLOCK = 64
+    BLOCK = 32
 
     def __init__(self, values: np.ndarray, maximize: bool) -> None:
         values = np.ascontiguousarray(values, dtype=np.float64)
@@ -749,6 +1069,9 @@ class RangeExtremeTable:
         padded[:n] = values
         grid = padded.reshape(num_blocks, block)
         accumulate = np.maximum.accumulate if maximize else np.minimum.accumulate
+        # Fill-padded copy for the fixed-width same-block gather: one spare
+        # block lets a gather starting at the last element stay in bounds.
+        self._values_padded = np.concatenate([padded, np.full(block, fill)])
         self._block_extremes = grid.max(axis=1) if maximize else grid.min(axis=1)
         self._prefix_in_block = accumulate(grid, axis=1).reshape(-1)[:n]
         self._suffix_in_block = accumulate(grid[:, ::-1], axis=1)[:, ::-1].reshape(-1)[:n]
@@ -791,9 +1114,13 @@ class RangeExtremeTable:
             win_lo = lo[same]
             win_hi = hi[same]
             idx = win_lo[:, None] + np.arange(block, dtype=np.intp)[None, :]
-            gathered = self._values[np.minimum(idx, self._values.size - 1)]
-            gathered = np.where(idx <= win_hi[:, None], gathered, self._fill)
-            out[same] = gathered.max(axis=1) if self._maximize else gathered.min(axis=1)
+            reduce = np.maximum.reduce if self._maximize else np.minimum.reduce
+            out[same] = reduce(
+                self._values_padded[idx],
+                axis=1,
+                where=idx <= win_hi[:, None],
+                initial=self._fill,
+            )
         spanning = ~same
         if np.any(spanning):
             win_lo = lo[spanning]
@@ -853,6 +1180,10 @@ class SegmentExtremeDirectory:
             self.prefix[start:stop] = accumulate(window)
             self.suffix[start:stop] = accumulate(window[::-1])[::-1]
         self.segment_extremes = np.ascontiguousarray(segment_extremes, dtype=np.float64)
+        # The raw per-sample polynomial values, kept alongside the tables so
+        # the fused scalar kernels can serve single-segment windows from the
+        # same operands the table path reduces over.
+        self.poly_values = poly_values
         self._interior = RangeExtremeTable(self.segment_extremes, maximize)
         self._values = RangeExtremeTable(poly_values, maximize)
 

@@ -161,6 +161,11 @@ class DirectoryOverlay:
         return self._epoch
 
     @property
+    def version(self) -> int:
+        """Cache-key version: the frozen epoch (the view never mutates)."""
+        return self._epoch
+
+    @property
     def aggregate(self) -> Aggregate:
         """Aggregate the overlay answers."""
         return self._base.aggregate

@@ -1,0 +1,48 @@
+"""Import-gated numba shims shared by the kernel modules.
+
+Numba is an optional dependency: when it is importable the kernel source
+functions are compiled with ``@njit(parallel=True, cache=True)`` on first
+use; when it is not, ``prange`` degrades to ``range`` so the same source
+functions run as plain Python (slow, but bit-identical — which is what the
+pinning tests execute).
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+    from numba import prange
+except ImportError:  # pragma: no cover - the local default
+    _numba = None
+    prange = range
+
+NUMBA_AVAILABLE = _numba is not None
+
+__all__ = ["NUMBA_AVAILABLE", "prange", "jit_scalar", "jit_parallel", "numba_version"]
+
+
+def numba_version() -> str | None:
+    """The installed numba version, or ``None`` when numba is absent."""
+    return None if _numba is None else str(_numba.__version__)
+
+
+def jit_scalar(function):
+    """Compile a scalar helper with ``@njit(cache=True)`` when possible.
+
+    Without numba the function is returned unchanged, so kernel sources
+    calling it keep working as plain Python.
+    """
+    if _numba is None:
+        return function
+    return _numba.njit(cache=True)(function)
+
+
+def jit_parallel(function):
+    """Compile a per-query kernel with ``@njit(parallel=True, cache=True)``.
+
+    Raises when numba is missing; callers must gate on
+    :data:`NUMBA_AVAILABLE` (the resolve logic in the package root does).
+    """
+    if _numba is None:  # pragma: no cover - defensive
+        raise RuntimeError("numba is not importable; cannot compile kernels")
+    return _numba.njit(parallel=True, cache=True)(function)

@@ -1,0 +1,250 @@
+"""Fused one-key batch kernels: locate + gather + Horner + certificate.
+
+Each kernel answers one query per loop iteration with plain scalar
+arithmetic, replicating the exact floating-point operations of the NumPy
+multi-pass path in :class:`~repro.index.polyfit1d.PolyFitIndex`:
+
+* bisections use ``np.searchsorted``'s comparison semantics (NaN sorts
+  last, ``side='left'``/``'right'`` tie rules);
+* polynomial evaluation is the same descending-column Horner recurrence as
+  :meth:`~repro.fitting.polynomial.PolynomialBank.evaluate`;
+* the SUM/COUNT answer is the same ``upper - lower`` subtraction with a
+  literal ``0.0`` lower corner below the first sample;
+* the MAX/MIN merge combines the same prefix/suffix/interior values as
+  :class:`~repro.index.directory.SegmentExtremeDirectory` (max/min over a
+  fixed operand set is the same float under any evaluation order);
+* the Lemma 3/5 certificate is the same ``value >= threshold`` compare
+  (NaN fails it, matching the ``errstate``-guarded NumPy compare).
+
+The functions are written to be Numba-compilable but remain executable as
+plain Python, which is how the bit-identity tests pin them where numba is
+not installed.  Compiled variants are built lazily on first use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._numba import NUMBA_AVAILABLE, jit_parallel, jit_scalar, prange
+
+__all__ = ["run_cumulative", "run_extreme"]
+
+
+def _lt_py(a: float, b: float) -> bool:
+    # np.searchsorted's total order: NaN compares greater than any number.
+    return a < b or (b != b and a == a)
+
+
+_lt = jit_scalar(_lt_py)
+
+
+def _bisect_left_py(values: np.ndarray, target: float) -> int:
+    lo = 0
+    hi = values.shape[0]
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if _lt(values[mid], target):
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _bisect_right_py(values: np.ndarray, target: float) -> int:
+    lo = 0
+    hi = values.shape[0]
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if _lt(target, values[mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+_bisect_left = jit_scalar(_bisect_left_py)
+_bisect_right = jit_scalar(_bisect_right_py)
+
+
+def _locate_row_py(dir_keys: np.ndarray, key: float) -> int:
+    # SegmentDirectory.locate: searchsorted right minus one, clamped.
+    row = _bisect_right(dir_keys, key) - 1
+    if row < 0:
+        row = 0
+    elif row >= dir_keys.shape[0]:
+        row = dir_keys.shape[0] - 1
+    return row
+
+
+_locate_row = jit_scalar(_locate_row_py)
+
+
+def _eval_segment_py(
+    coeffs: np.ndarray,
+    shifts: np.ndarray,
+    scales: np.ndarray,
+    dir_keys: np.ndarray,
+    key: float,
+) -> float:
+    row = _locate_row(dir_keys, key)
+    t = (key - shifts[row]) / scales[row]
+    width = coeffs.shape[1]
+    result = coeffs[row, width - 1]
+    for column in range(width - 2, -1, -1):
+        result = result * t + coeffs[row, column]
+    return result
+
+
+_eval_segment = jit_scalar(_eval_segment_py)
+
+
+def cumulative_kernel(
+    sample_keys: np.ndarray,
+    dir_keys: np.ndarray,
+    coeffs: np.ndarray,
+    shifts: np.ndarray,
+    scales: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    threshold: float,
+    values: np.ndarray,
+    certified: np.ndarray,
+) -> None:
+    """Fused SUM/COUNT pass: snap, locate, Horner, subtract, certify."""
+    for i in prange(lows.shape[0]):
+        upper_idx = _bisect_right(sample_keys, highs[i]) - 1
+        if upper_idx < 0:
+            values[i] = 0.0
+            certified[i] = 0.0 >= threshold
+            continue
+        upper = _eval_segment(coeffs, shifts, scales, dir_keys, sample_keys[upper_idx])
+        lower_idx = _bisect_left(sample_keys, lows[i]) - 1
+        if lower_idx >= 0:
+            lower = _eval_segment(
+                coeffs, shifts, scales, dir_keys, sample_keys[lower_idx]
+            )
+        else:
+            lower = 0.0
+        value = upper - lower
+        values[i] = value
+        certified[i] = value >= threshold
+
+
+def extreme_kernel(
+    sample_keys: np.ndarray,
+    dir_keys: np.ndarray,
+    prefix: np.ndarray,
+    suffix: np.ndarray,
+    segment_extremes: np.ndarray,
+    poly_values: np.ndarray,
+    maximize: bool,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    threshold: float,
+    values: np.ndarray,
+    certified: np.ndarray,
+) -> None:
+    """Fused MAX/MIN pass: snap, locate, boundary/interior merge, certify."""
+    for i in prange(lows.shape[0]):
+        lo = _bisect_left(sample_keys, lows[i])
+        hi = _bisect_right(sample_keys, highs[i]) - 1
+        if hi < lo:
+            values[i] = np.nan
+            certified[i] = False
+            continue
+        first = _locate_row(dir_keys, sample_keys[lo])
+        last = _locate_row(dir_keys, sample_keys[hi])
+        if first == last:
+            best = poly_values[lo]
+            for k in range(lo + 1, hi + 1):
+                value = poly_values[k]
+                if maximize:
+                    if value > best:
+                        best = value
+                else:
+                    if value < best:
+                        best = value
+        else:
+            head = suffix[lo]
+            tail = prefix[hi]
+            best = max(head, tail) if maximize else min(head, tail)
+            for segment in range(first + 1, last):
+                value = segment_extremes[segment]
+                if maximize:
+                    if value > best:
+                        best = value
+                else:
+                    if value < best:
+                        best = value
+        values[i] = best
+        certified[i] = best >= threshold
+
+
+_COMPILED: dict[str, object] = {}
+
+
+def _compiled(name: str, source) -> object:
+    function = _COMPILED.get(name)
+    if function is None:
+        function = jit_parallel(source)
+        _COMPILED[name] = function
+    return function
+
+
+def run_cumulative(
+    sample_keys: np.ndarray,
+    dir_keys: np.ndarray,
+    coeffs: np.ndarray,
+    shifts: np.ndarray,
+    scales: np.ndarray,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    threshold: float = np.inf,
+    *,
+    compiled: bool | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Answer N SUM/COUNT ranges in one fused pass.
+
+    Returns ``(values, certified)`` where ``certified`` is the Lemma 3
+    relative certificate ``values >= threshold`` (all-False for the default
+    infinite threshold — estimate-only callers ignore it).  ``compiled``
+    defaults to whether numba is importable; passing ``False`` executes the
+    plain-Python kernel source (the bit-identity pinning path).
+    """
+    n = lows.shape[0]
+    values = np.empty(n, dtype=np.float64)
+    certified = np.empty(n, dtype=np.bool_)
+    use_compiled = NUMBA_AVAILABLE if compiled is None else compiled
+    kernel = _compiled("cumulative", cumulative_kernel) if use_compiled else cumulative_kernel
+    kernel(
+        sample_keys, dir_keys, coeffs, shifts, scales,
+        lows, highs, float(threshold), values, certified,
+    )
+    return values, certified
+
+
+def run_extreme(
+    sample_keys: np.ndarray,
+    dir_keys: np.ndarray,
+    prefix: np.ndarray,
+    suffix: np.ndarray,
+    segment_extremes: np.ndarray,
+    poly_values: np.ndarray,
+    maximize: bool,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    threshold: float = np.inf,
+    *,
+    compiled: bool | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Answer N MAX/MIN ranges in one fused pass; see :func:`run_cumulative`."""
+    n = lows.shape[0]
+    values = np.empty(n, dtype=np.float64)
+    certified = np.empty(n, dtype=np.bool_)
+    use_compiled = NUMBA_AVAILABLE if compiled is None else compiled
+    kernel = _compiled("extreme", extreme_kernel) if use_compiled else extreme_kernel
+    kernel(
+        sample_keys, dir_keys, prefix, suffix, segment_extremes, poly_values,
+        bool(maximize), lows, highs, float(threshold), values, certified,
+    )
+    return values, certified

@@ -1,0 +1,366 @@
+"""Fused two-key batch kernels: 4-corner COUNT/SUM and rectangle MAX/MIN.
+
+The corner kernel replicates :meth:`PolyFit2DIndex.estimate_batch` exactly,
+per query: the below-domain zero rule and upper clamp, the dyadic-grid cell
+location (validated floor-scale candidate corrected by one step, interior
+``searchsorted``, or the midpoint descent — whichever the directory itself
+uses), the Morton interleave, the ``searchsorted`` over leaf keys, nested
+Horner over the gathered surface row (or the nearest-grid-sample rule with
+the scalar ``argmin`` tie-break for exact cells), and the left-associated
+inclusion-exclusion ``((c1 - c2) - c3) + c4``.
+
+The extreme kernel answers rectangle MAX/MIN by scanning the x-sorted
+window of the point set: max/min over the same closed-rectangle subset is
+the same float whatever algorithm selects it, so results are bit-identical
+to both the scalar leaf-merge oracle and the vectorized
+:class:`~repro.index.directory.RectangleExtremeTree` (NaN for empty
+rectangles included).
+
+Written to be Numba-compilable while remaining executable as plain Python;
+compiled variants are built lazily on first use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._numba import NUMBA_AVAILABLE, jit_parallel, jit_scalar, prange
+from .fused1d import _bisect_left, _bisect_right
+
+__all__ = ["run_corners", "run_rectangle_extreme"]
+
+
+def _axis_cell_py(
+    coord: float, boundaries: np.ndarray, scale: float, depth: int
+) -> int:
+    # QuadDirectory._axis_cells, one coordinate at a time.  ``scale <= 0``
+    # encodes "no validated uniform scale" (use the interior bisection);
+    # an empty boundary array encodes "too deep to materialize" and is
+    # handled by the caller via the midpoint descent.
+    num_cells = boundaries.shape[0] - 1
+    if scale > 0.0:
+        cell = int(np.floor((coord - boundaries[0]) * scale))
+        if cell < 0:
+            cell = 0
+        elif cell > num_cells - 1:
+            cell = num_cells - 1
+        if coord <= boundaries[cell]:
+            cell -= 1
+        if cell < 0:
+            cell = 0
+        if coord > boundaries[cell + 1]:
+            cell += 1
+        if cell > num_cells - 1:
+            cell = num_cells - 1
+        return cell
+    lo = 1
+    hi = num_cells
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if boundaries[mid] < coord:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo - 1
+
+
+_axis_cell = jit_scalar(_axis_cell_py)
+
+
+def _descend_cell_py(coord: float, low: float, high: float, depth: int) -> int:
+    # QuadDirectory._locate_descent, one axis of one point.
+    cell = 0
+    for _ in range(depth):
+        mid = (low + high) / 2.0
+        if coord > mid:
+            cell = (cell << 1) | 1
+            low = mid
+        else:
+            cell = cell << 1
+            high = mid
+    return cell
+
+
+_descend_cell = jit_scalar(_descend_cell_py)
+
+
+def _morton2_py(gx: int, gy: int, depth: int) -> int:
+    # morton_interleave2 bit placement: gx bit k -> 2k, gy bit k -> 2k + 1.
+    code = 0
+    for bit in range(depth):
+        code |= ((gx >> bit) & 1) << (2 * bit)
+        code |= ((gy >> bit) & 1) << (2 * bit + 1)
+    return code
+
+
+_morton2 = jit_scalar(_morton2_py)
+
+
+def _bisect_right_int_py(values: np.ndarray, target: int) -> int:
+    lo = 0
+    hi = values.shape[0]
+    while lo < hi:
+        mid = (lo + hi) >> 1
+        if values[mid] <= target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+_bisect_right_int = jit_scalar(_bisect_right_int_py)
+
+
+def _corner_value_py(
+    u: float,
+    v: float,
+    xmin: float,
+    xmax: float,
+    ymin: float,
+    ymax: float,
+    rxmin: float,
+    rxmax: float,
+    rymin: float,
+    rymax: float,
+    depth: int,
+    x_boundaries: np.ndarray,
+    y_boundaries: np.ndarray,
+    x_scale: float,
+    y_scale: float,
+    leaf_keys: np.ndarray,
+    exact_mask: np.ndarray,
+    exact_ranges: np.ndarray,
+    coeffs: np.ndarray,
+    shift_u: np.ndarray,
+    scale_u: np.ndarray,
+    shift_v: np.ndarray,
+    scale_v: np.ndarray,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
+) -> float:
+    if u < xmin or v < ymin:
+        return 0.0
+    if u > xmax:
+        u = xmax
+    if v > ymax:
+        v = ymax
+    if x_boundaries.shape[0] > 0:
+        gx = _axis_cell(u, x_boundaries, x_scale, depth)
+        gy = _axis_cell(v, y_boundaries, y_scale, depth)
+    else:
+        gx = _descend_cell(u, rxmin, rxmax, depth)
+        gy = _descend_cell(v, rymin, rymax, depth)
+    code = _morton2(gx, gy, depth)
+    row = _bisect_right_int(leaf_keys, code) - 1
+    if row < 0:
+        row = 0
+    elif row >= leaf_keys.shape[0]:
+        row = leaf_keys.shape[0] - 1
+    if exact_mask[row]:
+        ix0 = exact_ranges[row, 0]
+        ix1 = exact_ranges[row, 1]
+        iy0 = exact_ranges[row, 2]
+        iy1 = exact_ranges[row, 3]
+        p = _bisect_left(grid_x, u)
+        i0 = min(max(p - 1, ix0), ix1)
+        i1 = min(max(p, ix0), ix1)
+        q = _bisect_left(grid_y, v)
+        j0 = min(max(q - 1, iy0), iy1)
+        j1 = min(max(q, iy0), iy1)
+        du0 = (grid_x[i0] - u) ** 2
+        du1 = (grid_x[i1] - u) ** 2
+        dv0 = (grid_y[j0] - v) ** 2
+        dv1 = (grid_y[j1] - v) ** 2
+        best = du0 + dv0
+        choice = 0
+        candidate = du0 + dv1
+        if candidate < best:
+            best = candidate
+            choice = 1
+        candidate = du1 + dv0
+        if candidate < best:
+            best = candidate
+            choice = 2
+        candidate = du1 + dv1
+        if candidate < best:
+            choice = 3
+        ii = i1 if choice >= 2 else i0
+        jj = j1 if choice % 2 == 1 else j0
+        return grid_cf[ii, jj]
+    s = (u - shift_u[row]) / scale_u[row]
+    t = (v - shift_v[row]) / scale_v[row]
+    width = coeffs.shape[1]
+    result = 0.0
+    for i in range(width - 1, -1, -1):
+        inner = coeffs[row, i, width - 1]
+        for j in range(width - 2, -1, -1):
+            inner = inner * t + coeffs[row, i, j]
+        result = result * s + inner
+    return result
+
+
+_corner_value = jit_scalar(_corner_value_py)
+
+
+def corner_kernel(
+    xmin: float,
+    xmax: float,
+    ymin: float,
+    ymax: float,
+    rxmin: float,
+    rxmax: float,
+    rymin: float,
+    rymax: float,
+    depth: int,
+    x_boundaries: np.ndarray,
+    y_boundaries: np.ndarray,
+    x_scale: float,
+    y_scale: float,
+    leaf_keys: np.ndarray,
+    exact_mask: np.ndarray,
+    exact_ranges: np.ndarray,
+    coeffs: np.ndarray,
+    shift_u: np.ndarray,
+    scale_u: np.ndarray,
+    shift_v: np.ndarray,
+    scale_v: np.ndarray,
+    grid_x: np.ndarray,
+    grid_y: np.ndarray,
+    grid_cf: np.ndarray,
+    x_lows: np.ndarray,
+    x_highs: np.ndarray,
+    y_lows: np.ndarray,
+    y_highs: np.ndarray,
+    threshold: float,
+    values: np.ndarray,
+    certified: np.ndarray,
+) -> None:
+    """Fused 4-corner inclusion-exclusion pass with Lemma 7 certificates."""
+    for i in prange(x_lows.shape[0]):
+        c1 = _corner_value(
+            x_highs[i], y_highs[i], xmin, xmax, ymin, ymax, rxmin, rxmax, rymin, rymax, depth,
+            x_boundaries, y_boundaries, x_scale, y_scale,
+            leaf_keys, exact_mask, exact_ranges,
+            coeffs, shift_u, scale_u, shift_v, scale_v,
+            grid_x, grid_y, grid_cf,
+        )
+        c2 = _corner_value(
+            x_lows[i], y_highs[i], xmin, xmax, ymin, ymax, rxmin, rxmax, rymin, rymax, depth,
+            x_boundaries, y_boundaries, x_scale, y_scale,
+            leaf_keys, exact_mask, exact_ranges,
+            coeffs, shift_u, scale_u, shift_v, scale_v,
+            grid_x, grid_y, grid_cf,
+        )
+        c3 = _corner_value(
+            x_highs[i], y_lows[i], xmin, xmax, ymin, ymax, rxmin, rxmax, rymin, rymax, depth,
+            x_boundaries, y_boundaries, x_scale, y_scale,
+            leaf_keys, exact_mask, exact_ranges,
+            coeffs, shift_u, scale_u, shift_v, scale_v,
+            grid_x, grid_y, grid_cf,
+        )
+        c4 = _corner_value(
+            x_lows[i], y_lows[i], xmin, xmax, ymin, ymax, rxmin, rxmax, rymin, rymax, depth,
+            x_boundaries, y_boundaries, x_scale, y_scale,
+            leaf_keys, exact_mask, exact_ranges,
+            coeffs, shift_u, scale_u, shift_v, scale_v,
+            grid_x, grid_y, grid_cf,
+        )
+        value = ((c1 - c2) - c3) + c4
+        values[i] = value
+        certified[i] = value >= threshold
+
+
+def rectangle_extreme_kernel(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    measures: np.ndarray,
+    maximize: bool,
+    x_lows: np.ndarray,
+    x_highs: np.ndarray,
+    y_lows: np.ndarray,
+    y_highs: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Rectangle MAX/MIN by x-window scan over the x-sorted point arrays."""
+    for i in prange(x_lows.shape[0]):
+        lo = _bisect_left(xs, x_lows[i])
+        hi = _bisect_right(xs, x_highs[i])
+        y_low = y_lows[i]
+        y_high = y_highs[i]
+        best = -np.inf if maximize else np.inf
+        for k in range(lo, hi):
+            y = ys[k]
+            if y_low <= y <= y_high:
+                value = measures[k]
+                if maximize:
+                    if value > best:
+                        best = value
+                else:
+                    if value < best:
+                        best = value
+        out[i] = best if np.isfinite(best) else np.nan
+
+
+_COMPILED: dict[str, object] = {}
+
+
+def _compiled(name: str, source) -> object:
+    function = _COMPILED.get(name)
+    if function is None:
+        function = jit_parallel(source)
+        _COMPILED[name] = function
+    return function
+
+
+def run_corners(
+    payload: tuple,
+    x_lows: np.ndarray,
+    x_highs: np.ndarray,
+    y_lows: np.ndarray,
+    y_highs: np.ndarray,
+    threshold: float = np.inf,
+    *,
+    compiled: bool | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Answer N rectangle COUNT/SUM queries in one fused pass.
+
+    ``payload`` is the flat-array tuple packed by
+    :meth:`PolyFit2DIndex._kernel_payload`.  Returns ``(values, certified)``
+    like the 1-D kernels; ``compiled=False`` executes the plain-Python
+    kernel source for bit-identity pinning.
+    """
+    n = x_lows.shape[0]
+    values = np.empty(n, dtype=np.float64)
+    certified = np.empty(n, dtype=np.bool_)
+    use_compiled = NUMBA_AVAILABLE if compiled is None else compiled
+    kernel = _compiled("corners", corner_kernel) if use_compiled else corner_kernel
+    kernel(
+        *payload, x_lows, x_highs, y_lows, y_highs,
+        float(threshold), values, certified,
+    )
+    return values, certified
+
+
+def run_rectangle_extreme(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    measures: np.ndarray,
+    maximize: bool,
+    x_lows: np.ndarray,
+    x_highs: np.ndarray,
+    y_lows: np.ndarray,
+    y_highs: np.ndarray,
+    *,
+    compiled: bool | None = None,
+) -> np.ndarray:
+    """Rectangle MAX/MIN for N queries; ``xs`` must be sorted ascending."""
+    out = np.empty(x_lows.shape[0], dtype=np.float64)
+    use_compiled = NUMBA_AVAILABLE if compiled is None else compiled
+    kernel = (
+        _compiled("rectangle_extreme", rectangle_extreme_kernel)
+        if use_compiled
+        else rectangle_extreme_kernel
+    )
+    kernel(xs, ys, measures, bool(maximize), x_lows, x_highs, y_lows, y_highs, out)
+    return out

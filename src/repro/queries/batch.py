@@ -71,6 +71,7 @@ def resolve_batch_certificates(
     guarantee: Guarantee | None,
     exact_for_mask: Callable[[np.ndarray], np.ndarray],
     absolute_fallback: bool,
+    certified: np.ndarray | None = None,
 ) -> BatchQueryResult:
     """Apply guarantee semantics to a batch of approximate answers.
 
@@ -90,6 +91,12 @@ def resolve_batch_certificates(
         structure: ``True`` answers exactly (RMI/FITing-tree semantics),
         ``False`` returns the approximation flagged un-guaranteed (PolyFit
         semantics — the index was built with a looser budget than requested).
+    certified:
+        Optional precomputed relative-certificate mask
+        (``approx >= error_bound * (1 + 1/eps)``), supplied by fused kernels
+        that evaluate the comparison inside the same compiled pass.  Ignored
+        unless the guarantee is relative; when omitted the comparison runs
+        here.
 
     NaN approximations (empty MAX/MIN ranges) fail the relative certificate
     comparison and take the exact path, matching the scalar implementations.
@@ -112,9 +119,14 @@ def resolve_batch_certificates(
             exact_for_mask(everything), everything, everything.copy(), np.zeros(n)
         )
 
-    threshold = error_bound * (1.0 + 1.0 / guarantee.epsilon)
-    with np.errstate(invalid="ignore"):
-        certified = approx >= threshold
+    if certified is None:
+        threshold = error_bound * (1.0 + 1.0 / guarantee.epsilon)
+        with np.errstate(invalid="ignore"):
+            certified = approx >= threshold
+    else:
+        certified = np.asarray(certified, dtype=bool)
+        if certified.shape != approx.shape:
+            raise QueryError("certified mask must match the approx answers")
     fallback = ~certified
     values = approx.copy()
     if np.any(fallback):

@@ -1,0 +1,107 @@
+"""Epoch-keyed LRU cache for batch query answers.
+
+Dashboard-style workloads re-issue the same rectangle bounds against a
+slowly changing index.  :class:`ResultCache` memoizes whole-batch answers
+keyed on ``(version, guarantee, bounds)``: the version component comes from
+the index's monotone write counter, so a hit is only possible against the
+exact index state that produced the cached answer — an insert or compaction
+bumps the version and every stale entry becomes unreachable (and ages out of
+the LRU ring).  No explicit invalidation hook is needed, which keeps the
+cache safe to wire around any index, updatable or frozen.
+
+Cached answers are returned by reference; callers must treat them as
+read-only (the engine's consumers already do — they only ever read the
+columnar arrays).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .types import BatchQueryResult, Guarantee
+
+__all__ = ["CacheInfo", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Point-in-time cache statistics (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+class ResultCache:
+    """Bounded LRU over batch answers, keyed by index version and bounds.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached batch answers (one entry per distinct
+        workload, not per query).  Must be >= 1; the engine simply does not
+        construct a cache when caching is disabled.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, BatchQueryResult | np.ndarray] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def make_key(
+        version: int,
+        guarantee: Guarantee | None,
+        bounds: Sequence[np.ndarray],
+    ) -> tuple:
+        """Build the lookup key for one batch call.
+
+        The bounds arrays are hashed by their raw bytes — two workloads with
+        bit-identical bounds (including NaN payloads, which compare unequal
+        but hash equal) share an entry; anything else cannot collide.
+        ``Guarantee`` is a frozen dataclass and hashes by value.
+        """
+        return (
+            int(version),
+            guarantee,
+            tuple(np.ascontiguousarray(b).tobytes() for b in bounds),
+        )
+
+    def get(self, key: tuple) -> BatchQueryResult | np.ndarray | None:
+        """Return the cached answer for ``key``, or None; updates counters."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: tuple, value: BatchQueryResult | np.ndarray) -> None:
+        """Insert an answer, evicting the least recently used entry if full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            maxsize=self._maxsize,
+            currsize=len(self._entries),
+        )

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..config import Aggregate
 from ..errors import NotSupportedError, QueryError
+from .cache import CacheInfo, ResultCache
 from .types import BatchQueryResult, Guarantee, QueryResult, RangeQuery, RangeQuery2D
 
 __all__ = ["QueryEngine", "AccuracyReport", "evaluate_accuracy", "queries_to_bounds"]
@@ -105,6 +106,16 @@ class QueryEngine:
         per-query ``aggregate`` field (bounds only), so without this the
         engine cannot reproduce the scalar path's aggregate-mismatch check;
         :meth:`for_index` fills it from ``index.aggregate`` automatically.
+    cache_size:
+        When > 0, memoize up to that many batch answers in an LRU keyed on
+        ``(index version, guarantee, bounds)``.  Hits skip the method
+        entirely; a write to an updatable index bumps its version so stale
+        answers can never be served.  0 (the default) disables caching.
+    version_provider:
+        Zero-argument callable returning the index's current write version
+        for the cache key.  ``None`` keys every entry on version 0, which is
+        correct for immutable indexes only; :meth:`for_index` wires the
+        live index's ``version`` counter automatically.
     """
 
     def __init__(
@@ -116,6 +127,8 @@ class QueryEngine:
         approximate_batch: Callable[..., BatchQueryResult | np.ndarray] | None = None,
         exact_batch: Callable[..., np.ndarray] | None = None,
         expected_aggregate: Aggregate | None = None,
+        cache_size: int = 0,
+        version_provider: Callable[[], int] | None = None,
     ) -> None:
         self._approximate = approximate
         self._exact = exact
@@ -123,6 +136,8 @@ class QueryEngine:
         self._exact_batch = exact_batch
         self._expected_aggregate = expected_aggregate
         self._sharded = None
+        self._cache = ResultCache(cache_size) if cache_size > 0 else None
+        self._version_provider = version_provider
         self.name = name
 
     @classmethod
@@ -133,6 +148,8 @@ class QueryEngine:
         *,
         num_shards: int = 1,
         executor: str = "thread",
+        kernel: str = "auto",
+        cache_size: int = 0,
     ) -> "QueryEngine":
         """Wire an engine from an index object, auto-detecting batch support.
 
@@ -156,7 +173,36 @@ class QueryEngine:
         engine construction — for *every* callable, scalar included, so the
         batch/scalar oracle equivalence holds and every worker serves one
         consistent snapshot even while the index keeps absorbing writes.
+
+        ``kernel`` selects the batch-kernel backend on indexes that expose
+        ``set_kernel`` ("auto"/"numba"/"numpy"); the default "auto" leaves
+        the index's own default in place, so it is safe for every method.
+        ``cache_size`` > 0 enables the epoch-keyed LRU result cache (see
+        :class:`~repro.queries.cache.ResultCache`); the cache key uses the
+        *live* index's write version, captured before any snapshot pinning,
+        so inserts and compactions invalidate cached answers even when the
+        batch path serves a frozen overlay.
         """
+        if kernel != "auto":
+            target = index
+            set_kernel = getattr(target, "set_kernel", None)
+            if set_kernel is None:
+                # Updatable wrappers route batch answers through their base
+                # index; the knob lands there.
+                set_kernel = getattr(getattr(target, "base", None), "set_kernel", None)
+            if set_kernel is None:
+                raise QueryError(
+                    f"method {name!r} has no kernel knob (set_kernel); "
+                    "only kernel='auto' is valid here"
+                )
+            set_kernel(kernel)
+        # Capture the version source before any snapshot rebinding below:
+        # the cache must observe the live index's writes, not the frozen
+        # overlay's constant epoch.
+        version_provider = None
+        if cache_size > 0 and hasattr(index, "version"):
+            version_source = index
+            version_provider = lambda: version_source.version  # noqa: E731
         approximate_batch = getattr(index, "query_batch", None)
         exact_batch = getattr(index, "exact_batch", None)
         sharded = None
@@ -171,7 +217,7 @@ class QueryEngine:
                 index = snapshot()
                 exact_batch = getattr(index, "exact_batch", None)
             sharded = ShardedQueryEngine(
-                index=index, num_shards=num_shards, executor=executor
+                index=index, num_shards=num_shards, executor=executor, kernel=kernel
             )
             approximate_batch = sharded.query_batch
             if exact_batch is not None:
@@ -183,6 +229,8 @@ class QueryEngine:
             approximate_batch=approximate_batch,
             exact_batch=exact_batch,
             expected_aggregate=getattr(index, "aggregate", None),
+            cache_size=cache_size,
+            version_provider=version_provider,
         )
         engine._sharded = sharded
         return engine
@@ -202,6 +250,38 @@ class QueryEngine:
     def supports_batch(self) -> bool:
         """Whether a vectorized method callable is wired in."""
         return self._approximate_batch is not None
+
+    def cache_info(self) -> CacheInfo | None:
+        """Hit/miss counters and occupancy of the result cache (None if off)."""
+        return None if self._cache is None else self._cache.info()
+
+    def cache_clear(self) -> None:
+        """Drop cached batch answers and reset the counters (no-op if off)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    def _call_batch(
+        self,
+        bounds: tuple[np.ndarray, ...],
+        guarantee: Guarantee | None,
+    ) -> BatchQueryResult | np.ndarray:
+        """Invoke the batch method through the result cache, when enabled."""
+        assert self._approximate_batch is not None
+        if self._cache is None:
+            if guarantee is None:
+                return self._approximate_batch(*bounds)
+            return self._approximate_batch(*bounds, guarantee)
+        version = 0 if self._version_provider is None else self._version_provider()
+        key = ResultCache.make_key(version, guarantee, bounds)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if guarantee is None:
+            answer = self._approximate_batch(*bounds)
+        else:
+            answer = self._approximate_batch(*bounds, guarantee)
+        self._cache.put(key, answer)
+        return answer
 
     def run(
         self,
@@ -258,11 +338,7 @@ class QueryEngine:
             # scalar path preserves each query's aggregate.
             return self._run_scalar(queries, guarantee)
         bounds = queries_to_bounds(queries)
-        assert self._approximate_batch is not None
-        if guarantee is None:
-            raw = self._approximate_batch(*bounds)
-        else:
-            raw = self._approximate_batch(*bounds, guarantee)
+        raw = self._call_batch(bounds, guarantee)
         if isinstance(raw, BatchQueryResult):
             results = raw.to_results()
         else:
@@ -288,10 +364,7 @@ class QueryEngine:
         """
         if self._approximate_batch is None:
             raise QueryError(f"method {self.name!r} has no batch interface")
-        bounds = queries_to_bounds(queries)
-        if guarantee is None:
-            return self._approximate_batch(*bounds)
-        return self._approximate_batch(*bounds, guarantee)
+        return self._call_batch(queries_to_bounds(queries), guarantee)
 
     def accuracy(
         self,

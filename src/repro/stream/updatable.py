@@ -66,6 +66,7 @@ class UpdatablePolyFitIndex:
         self._policy = policy or CompactionPolicy()
         self._buffer = DeltaBuffer(base.aggregate)
         self._epoch = 0
+        self._version = 0
         self._overlay: DirectoryOverlay | None = None
         # Corridor state of the open last segment (degree-1 append fast path).
         self._scanner: CorridorScanner | None = None
@@ -165,6 +166,16 @@ class UpdatablePolyFitIndex:
         return self._epoch
 
     @property
+    def version(self) -> int:
+        """Monotone write counter: bumped by every insert and compaction.
+
+        Unlike :attr:`epoch` (compactions only), the version changes on
+        *every* visible mutation, so result caches keyed on it can never
+        serve an answer computed against a different index state.
+        """
+        return self._version
+
+    @property
     def buffer_size(self) -> int:
         """Number of records currently buffered."""
         return len(self._buffer)
@@ -208,6 +219,7 @@ class UpdatablePolyFitIndex:
         count = self._buffer.insert(keys, measures)
         if count:
             self._overlay = None
+            self._version += 1
             if self._policy.auto and self._policy.should_compact(
                 len(self._buffer), self._function_size()
             ):
@@ -266,6 +278,7 @@ class UpdatablePolyFitIndex:
         self._buffer.clear()
         self._overlay = None
         self._epoch += 1
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Read path

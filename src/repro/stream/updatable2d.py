@@ -50,6 +50,11 @@ class _Overlay2D:
         """Flush epoch this overlay was frozen at."""
         return self._epoch
 
+    @property
+    def version(self) -> int:
+        """Cache-key version: the frozen epoch (the view never mutates)."""
+        return self._epoch
+
     def _contribution(self, x_lows, x_highs, y_lows, y_highs) -> np.ndarray | float:
         if self._delta_exact is None:
             return 0.0
@@ -119,6 +124,7 @@ class UpdatablePolyFit2DIndex:
         self._w_chunks: list[np.ndarray] = []
         self._size = 0
         self._epoch = 0
+        self._version = 0
         self._overlay: _Overlay2D | None = None
 
     # ------------------------------------------------------------------ #
@@ -194,6 +200,16 @@ class UpdatablePolyFit2DIndex:
         return self._epoch
 
     @property
+    def version(self) -> int:
+        """Monotone write counter: bumped by every insert and compaction.
+
+        Unlike :attr:`epoch` (compactions only), the version changes on
+        *every* visible mutation, so result caches keyed on it can never
+        serve an answer computed against a different index state.
+        """
+        return self._version
+
+    @property
     def buffer_size(self) -> int:
         """Number of points currently buffered."""
         return self._size
@@ -231,6 +247,7 @@ class UpdatablePolyFit2DIndex:
         self._w_chunks.append(measures.copy())
         self._size += xs.size
         self._overlay = None
+        self._version += 1
         if self._policy.auto and self._policy.should_compact(
             self._size, self._base_points()[0].size
         ):
@@ -271,6 +288,7 @@ class UpdatablePolyFit2DIndex:
         self._size = 0
         self._overlay = None
         self._epoch += 1
+        self._version += 1
         return True
 
     def _base_points(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
