@@ -22,11 +22,15 @@
 #                       latency vs delta-buffer fill, compaction pause vs a
 #                       from-scratch rebuild), writes
 #                       BENCH_update_throughput.json
+#   make bench-serve  - full serving protocol (request coalescing vs one
+#                       engine call per request: idle round-trip, open-loop
+#                       latency percentiles by offered QPS, saturation
+#                       throughput), writes BENCH_serve_latency.json
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: tier1 lint smoke-batch bench-batch bench-shards bench-build bench-update
+.PHONY: tier1 lint smoke-batch bench-batch bench-shards bench-build bench-update bench-serve
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -43,8 +47,9 @@ smoke-batch:
 		tests/test_directory.py tests/test_sharding.py tests/test_codec.py \
 		tests/test_fitting_incremental.py \
 		tests/test_stream_updatable.py tests/test_stream_2d.py \
+		tests/test_serve_coalescer.py tests/test_serve_http.py \
 		benchmarks/bench_shard_scaling.py benchmarks/bench_build_time.py \
-		benchmarks/bench_update_throughput.py
+		benchmarks/bench_update_throughput.py benchmarks/bench_serve_latency.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
@@ -57,3 +62,6 @@ bench-build:
 
 bench-update:
 	$(PYTHON) benchmarks/bench_update_throughput.py
+
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve_latency.py

@@ -1,6 +1,6 @@
-"""Command-line interface for building and querying PolyFit indexes.
+"""Command-line interface for building, querying and serving PolyFit indexes.
 
-Provides four subcommands mirroring a typical deployment workflow:
+Provides six subcommands mirroring a typical deployment workflow:
 
 ``build``
     Load a (key, measure) CSV, build a PolyFit index for the requested
@@ -19,6 +19,15 @@ Provides four subcommands mirroring a typical deployment workflow:
     :class:`~repro.stream.UpdatablePolyFitIndex` (append → query → compact),
     and report buffer fill, epochs and probe-query accuracy along the way.
 
+``serve``
+    Stand up the asyncio HTTP serving front (:mod:`repro.serve`) over a
+    built index file or a synthetic updatable index: concurrent scalar
+    requests are coalesced into vectorized batch calls each tick.
+
+``query-remote``
+    Smoke-test a running server: one scalar query (or ``--stats``) over
+    HTTP, printed in the same shape as the local ``query`` command.
+
 Example
 -------
 ::
@@ -27,11 +36,14 @@ Example
     python -m repro.cli query index.json 1000 2000 --eps-abs 50
     python -m repro.cli info index.json
     python -m repro.cli ingest --synthetic 20000 --delta 50 --max-buffer 2048
+    python -m repro.cli serve --synthetic 100000 --delta 100 --port 8080
+    python -m repro.cli query-remote http://127.0.0.1:8080 1000 2000 --eps-abs 200
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Sequence
 
@@ -44,7 +56,7 @@ from .index import PolyFitIndex, load_index, save_index
 from .queries.types import Guarantee, RangeQuery
 from .stream import CompactionPolicy, UpdatablePolyFitIndex
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_serve_server"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +122,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="compaction threshold (CompactionPolicy.max_buffer)")
     ingest.add_argument("--seed", type=int, default=0,
                         help="seed for the synthetic stream")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve an index over HTTP with request coalescing"
+    )
+    serve.add_argument("index_file", nargs="?", default=None,
+                       help="built index (JSON or binary codec; omit with --synthetic)")
+    serve.add_argument("--synthetic", type=int, default=None, metavar="N",
+                       help="serve an updatable index built over N synthetic records")
+    serve.add_argument("--aggregate", choices=[a.value for a in Aggregate],
+                       default="count", help="aggregate of the synthetic index")
+    serve.add_argument("--degree", type=int, default=1,
+                       help="polynomial degree of the synthetic index")
+    serve.add_argument("--eps-abs", type=float, default=None,
+                       help="absolute guarantee of the synthetic index")
+    serve.add_argument("--delta", type=float, default=None,
+                       help="per-segment budget of the synthetic index")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the synthetic records")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--max-wait-ms", type=float, default=1.0,
+                       help="coalescing tick: max wait before a flush")
+    serve.add_argument("--max-batch", type=int, default=8192,
+                       help="largest single coalesced batch call")
+    serve.add_argument("--max-pending", type=int, default=65536,
+                       help="admission control: max queued requests")
+    serve.add_argument("--cache-size", type=int, default=0,
+                       help="version-keyed result cache entries (0 = off)")
+    serve.add_argument("--num-shards", type=int, default=1,
+                       help="fan batches out over this many shards")
+    serve.add_argument("--kernel", choices=["auto", "numba", "numpy"],
+                       default="auto", help="batch kernel backend")
+
+    remote = subparsers.add_parser(
+        "query-remote", help="smoke-test a running serve instance over HTTP"
+    )
+    remote.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8080")
+    remote.add_argument("low", type=float, nargs="?", default=None,
+                        help="lower key bound (omit with --stats)")
+    remote.add_argument("high", type=float, nargs="?", default=None,
+                        help="upper key bound (omit with --stats)")
+    remote_guarantee = remote.add_mutually_exclusive_group()
+    remote_guarantee.add_argument("--eps-abs", type=float,
+                                  help="absolute error guarantee")
+    remote_guarantee.add_argument("--eps-rel", type=float,
+                                  help="relative error guarantee")
+    remote.add_argument("--index", default="default",
+                        help="named index on the server")
+    remote.add_argument("--stats", action="store_true",
+                        help="print the server's /stats payload instead")
+    remote.add_argument("--timeout", type=float, default=10.0,
+                        help="HTTP timeout in seconds")
 
     return parser
 
@@ -249,11 +314,128 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_index(args: argparse.Namespace):
+    """The index to serve: a codec file or a synthetic updatable build."""
+    if (args.index_file is None) == (args.synthetic is None):
+        raise QueryError("provide exactly one of index_file or --synthetic N")
+    if args.index_file is not None:
+        return load_index(args.index_file)
+    if args.synthetic < 4:
+        raise QueryError("--synthetic needs at least 4 records")
+    if (args.eps_abs is None) == (args.delta is None):
+        raise QueryError("--synthetic needs exactly one of --eps-abs or --delta")
+    aggregate = Aggregate(args.aggregate)
+    rng = np.random.default_rng(args.seed)
+    keys = np.cumsum(rng.uniform(0.1, 1.0, size=args.synthetic))
+    measures = np.abs(100.0 + np.cumsum(rng.normal(0.0, 1.0, size=args.synthetic)))
+    config = IndexConfig(
+        fit=FitConfig(degree=args.degree),
+        segmentation=SegmentationConfig(delta=args.delta if args.delta else 1.0),
+    )
+    # Updatable so the /insert and /compact endpoints work out of the box.
+    return UpdatablePolyFitIndex.build(
+        keys,
+        None if aggregate is Aggregate.COUNT else measures,
+        aggregate=aggregate,
+        delta=args.delta,
+        guarantee=Guarantee.absolute(args.eps_abs) if args.eps_abs else None,
+        config=config,
+    )
+
+
+def build_serve_server(args: argparse.Namespace):
+    """Wire up the (host, server) pair the ``serve`` subcommand runs.
+
+    Factored out so tests (and embedders) can build the exact server the
+    CLI would, without binding a socket or blocking on the event loop.
+    """
+    from .serve import EngineHost, ServeServer
+
+    index = _serve_index(args)
+    host = EngineHost(
+        index,
+        cache_size=args.cache_size,
+        kernel=args.kernel,
+        num_shards=args.num_shards,
+    )
+    server = ServeServer(
+        host,
+        max_wait_ms=args.max_wait_ms,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+    return host, server
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    host, server = build_serve_server(args)
+    index = host.index
+    source = args.index_file or f"--synthetic {args.synthetic}"
+    print(
+        f"serving {host.aggregate.value} index ({source}): "
+        f"{getattr(index, 'num_segments', '?')} segments, "
+        f"updatable={host.updatable}, tick {args.max_wait_ms} ms, "
+        f"max batch {args.max_batch}, cache {args.cache_size}, "
+        f"shards {args.num_shards}"
+    )
+
+    async def _run() -> None:
+        await server.start(args.host, args.port)
+        print(f"listening on http://{args.host}:{server.port} (ctrl-c to stop)")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+            stats = server.coalescer.stats
+            print(
+                f"drained: {stats.served} served in {stats.batches} batches "
+                f"(mean batch {stats.mean_batch_size:.1f}), "
+                f"{stats.rejected} rejected"
+            )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _command_query_remote(args: argparse.Namespace) -> int:
+    from .serve import query_remote, stats_remote
+
+    if args.stats:
+        import json as _json
+
+        print(_json.dumps(stats_remote(args.url, timeout=args.timeout), indent=2))
+        return 0
+    if args.low is None or args.high is None:
+        raise QueryError("provide low and high bounds (or --stats)")
+    guarantee = None
+    if args.eps_abs:
+        guarantee = Guarantee.absolute(args.eps_abs)
+    elif args.eps_rel:
+        guarantee = Guarantee.relative(args.eps_rel)
+    answer = query_remote(
+        args.url, args.low, args.high,
+        guarantee=guarantee, index=args.index, timeout=args.timeout,
+    )
+    bound = "n/a" if answer["error_bound"] is None else f"{answer['error_bound']:g}"
+    print(
+        f"[{args.low:g}, {args.high:g}] = {answer['value']:g} "
+        f"(guaranteed={answer['guaranteed']}, "
+        f"exact_fallback={answer['exact_fallback']}, error_bound={bound}, "
+        f"epoch={answer['epoch']}, batch_size={answer['batch_size']})"
+    )
+    return 0
+
+
 _COMMANDS = {
     "build": _command_build,
     "query": _command_query,
     "info": _command_info,
     "ingest": _command_ingest,
+    "serve": _command_serve,
+    "query-remote": _command_query_remote,
 }
 
 

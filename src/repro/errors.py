@@ -17,6 +17,7 @@ __all__ = [
     "GuaranteeNotSatisfiedError",
     "NotSupportedError",
     "SerializationError",
+    "ServerOverloadedError",
 ]
 
 
@@ -71,3 +72,13 @@ class NotSupportedError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when an index cannot be serialized or deserialized."""
+
+
+class ServerOverloadedError(ReproError):
+    """Raised when the serving layer rejects a request under admission control.
+
+    The coalescing front-end bounds its pending-request queue; once the bound
+    is hit (or a drain-then-stop shutdown has begun), new requests fail fast
+    with this error instead of building an unbounded backlog.  HTTP clients
+    see it as a 503.
+    """

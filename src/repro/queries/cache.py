@@ -12,12 +12,19 @@ cache safe to wire around any index, updatable or frozen.
 Cached answers are returned by reference; callers must treat them as
 read-only (the engine's consumers already do — they only ever read the
 columnar arrays).
+
+The cache is thread-safe: the serving front-end
+(:mod:`repro.serve`) flushes coalesced batches on executor threads, so
+lookups, insertions and evictions from different flushes may interleave.
+A single lock around each operation keeps the OrderedDict bookkeeping
+consistent; the per-call cost is negligible next to a batch evaluation.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 import numpy as np
@@ -35,6 +42,17 @@ class CacheInfo:
     misses: int
     maxsize: int
     currsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never probed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (counters plus the derived hit rate), for the
+        server's ``/stats`` endpoint and the bench artifacts."""
+        return {**asdict(self), "hit_rate": round(self.hit_rate, 4)}
 
 
 class ResultCache:
@@ -55,6 +73,7 @@ class ResultCache:
         self._entries: OrderedDict[tuple, BatchQueryResult | np.ndarray] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.Lock()
 
     @staticmethod
     def make_key(
@@ -77,31 +96,35 @@ class ResultCache:
 
     def get(self, key: tuple) -> BatchQueryResult | np.ndarray | None:
         """Return the cached answer for ``key``, or None; updates counters."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
 
     def put(self, key: tuple, value: BatchQueryResult | np.ndarray) -> None:
         """Insert an answer, evicting the least recently used entry if full."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
 
     def info(self) -> CacheInfo:
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            maxsize=self._maxsize,
-            currsize=len(self._entries),
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self._maxsize,
+                currsize=len(self._entries),
+            )

@@ -23,7 +23,38 @@ from ..errors import NotSupportedError, QueryError
 from .cache import CacheInfo, ResultCache
 from .types import BatchQueryResult, Guarantee, QueryResult, RangeQuery, RangeQuery2D
 
-__all__ = ["QueryEngine", "AccuracyReport", "evaluate_accuracy", "queries_to_bounds"]
+__all__ = [
+    "QueryEngine",
+    "AccuracyReport",
+    "evaluate_accuracy",
+    "queries_to_bounds",
+    "apply_kernel_knob",
+]
+
+
+def apply_kernel_knob(index: object, kernel: str, name: str = "method") -> None:
+    """Select the batch-kernel backend on an index that exposes ``set_kernel``.
+
+    ``kernel="auto"`` is a no-op (every method accepts it); any other value
+    requires the index — or, for updatable wrappers that route batch answers
+    through their base, ``index.base`` — to expose ``set_kernel`` and raises
+    :class:`~repro.errors.QueryError` otherwise.  Shared by
+    :meth:`QueryEngine.for_index` and the serving layer's
+    :class:`~repro.serve.host.EngineHost` so both wire the knob identically.
+    """
+    if kernel == "auto":
+        return
+    set_kernel = getattr(index, "set_kernel", None)
+    if set_kernel is None:
+        # Updatable wrappers route batch answers through their base index;
+        # the knob lands there.
+        set_kernel = getattr(getattr(index, "base", None), "set_kernel", None)
+    if set_kernel is None:
+        raise QueryError(
+            f"method {name!r} has no kernel knob (set_kernel); "
+            "only kernel='auto' is valid here"
+        )
+    set_kernel(kernel)
 
 
 def queries_to_bounds(
@@ -183,19 +214,7 @@ class QueryEngine:
         so inserts and compactions invalidate cached answers even when the
         batch path serves a frozen overlay.
         """
-        if kernel != "auto":
-            target = index
-            set_kernel = getattr(target, "set_kernel", None)
-            if set_kernel is None:
-                # Updatable wrappers route batch answers through their base
-                # index; the knob lands there.
-                set_kernel = getattr(getattr(target, "base", None), "set_kernel", None)
-            if set_kernel is None:
-                raise QueryError(
-                    f"method {name!r} has no kernel knob (set_kernel); "
-                    "only kernel='auto' is valid here"
-                )
-            set_kernel(kernel)
+        apply_kernel_knob(index, kernel, name)
         # Capture the version source before any snapshot rebinding below:
         # the cache must observe the live index's writes, not the frozen
         # overlay's constant epoch.

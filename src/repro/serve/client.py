@@ -1,0 +1,108 @@
+"""Blocking HTTP client for a running serve instance.
+
+Thin ``urllib``-based helpers so the ``repro query-remote`` CLI (and tests)
+can smoke-test a server without pulling in an HTTP client dependency.  Every
+helper returns the decoded JSON payload; non-2xx responses raise
+:class:`~repro.errors.QueryError` (or
+:class:`~repro.errors.ServerOverloadedError` for 503) carrying the server's
+error message.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from ..errors import QueryError, ServerOverloadedError
+from ..queries.types import Guarantee
+
+__all__ = ["request_json", "query_remote", "query_batch_remote", "stats_remote", "health_remote"]
+
+
+def request_json(
+    base_url: str,
+    path: str,
+    payload: dict | None = None,
+    *,
+    timeout: float = 10.0,
+) -> dict:
+    """One HTTP round-trip: GET when ``payload`` is None, POST otherwise."""
+    url = base_url.rstrip("/") + path
+    body = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url,
+        data=body,
+        headers={"Content-Type": "application/json", "Connection": "close"},
+        method="GET" if payload is None else "POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        try:
+            message = json.loads(error.read().decode()).get("error", str(error))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            message = str(error)
+        if error.code == 503:
+            raise ServerOverloadedError(message) from None
+        raise QueryError(f"server returned {error.code}: {message}") from None
+    except urllib.error.URLError as error:
+        raise QueryError(f"cannot reach {url}: {error.reason}") from None
+
+
+def _guarantee_spec(guarantee: Guarantee | None) -> dict | None:
+    if guarantee is None:
+        return None
+    return {"kind": guarantee.kind.value, "epsilon": guarantee.epsilon}
+
+
+def query_remote(
+    base_url: str,
+    *bounds: float,
+    guarantee: Guarantee | None = None,
+    index: str = "default",
+    timeout: float = 10.0,
+) -> dict:
+    """Answer one scalar query: 2 bounds for 1-D hosts, 4 for 2-D hosts."""
+    if len(bounds) == 2:
+        payload: dict = {"low": bounds[0], "high": bounds[1]}
+    elif len(bounds) == 4:
+        payload = {
+            "x_low": bounds[0], "x_high": bounds[1],
+            "y_low": bounds[2], "y_high": bounds[3],
+        }
+    else:
+        raise QueryError(f"expected 2 or 4 bounds, got {len(bounds)}")
+    payload["index"] = index
+    spec = _guarantee_spec(guarantee)
+    if spec is not None:
+        payload["guarantee"] = spec
+    return request_json(base_url, "/query", payload, timeout=timeout)
+
+
+def query_batch_remote(
+    base_url: str,
+    lows,
+    highs,
+    *,
+    guarantee: Guarantee | None = None,
+    index: str = "default",
+    timeout: float = 30.0,
+) -> dict:
+    """Answer a 1-D workload in one ``/query_batch`` call."""
+    payload: dict = {"lows": list(lows), "highs": list(highs), "index": index}
+    spec = _guarantee_spec(guarantee)
+    if spec is not None:
+        payload["guarantee"] = spec
+    return request_json(base_url, "/query_batch", payload, timeout=timeout)
+
+
+def stats_remote(base_url: str, *, timeout: float = 10.0) -> dict:
+    """Fetch the server's ``/stats`` payload."""
+    return request_json(base_url, "/stats", timeout=timeout)
+
+
+def health_remote(base_url: str, *, timeout: float = 10.0) -> dict:
+    """Fetch the server's ``/healthz`` payload."""
+    return request_json(base_url, "/healthz", timeout=timeout)

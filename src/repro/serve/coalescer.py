@@ -1,0 +1,309 @@
+"""Request coalescing: scalar traffic in, vectorized batches out.
+
+The batch read path answers N queries 60-80x faster per query than N scalar
+calls (``BENCH_batch_throughput.json``), but end users issue *scalar*
+requests.  :class:`Coalescer` converts one into the other: concurrent
+requests accumulate in per-``(index, guarantee)`` queues, and every
+``max_wait_ms`` tick the queue is flushed as **one** ``query_batch`` call
+whose per-query answers are scattered back to per-request futures.
+
+Correctness invariant: every batch kernel in the library is
+element-independent (evaluating a concatenation of workloads equals
+concatenating their evaluations — the property the sharding layer already
+relies on), and a queue only ever mixes requests with the *same* guarantee
+against the *same* index, evaluated against the *same* pinned epoch view.
+A coalesced answer is therefore bit-identical to calling ``query_batch``
+directly with the request's bounds.
+
+Operational behaviour:
+
+* **Ticking** — a flusher task per queue wakes every ``max_wait_ms``; a
+  wake-up with an empty queue (a zero-arrival tick) terminates the task
+  (no idle spinning; the next submit restarts it).
+* **Overflow splitting** — a flush drains the queue in ``max_batch``-sized
+  slices, issuing one engine call per slice, all within the same tick.
+* **Admission control** — at most ``max_pending`` requests may be queued
+  across all queues; beyond that :meth:`submit` fails fast with
+  :class:`~repro.errors.ServerOverloadedError` (HTTP 503) instead of
+  building an unbounded backlog.
+* **Drain-then-stop** — :meth:`stop` rejects new submissions, flushes
+  everything already accepted, and resolves every in-flight future before
+  returning.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Mapping, NamedTuple, Sequence
+
+import numpy as np
+
+from ..errors import QueryError, ServerOverloadedError
+from ..queries.types import Guarantee
+from .host import EngineHost
+
+__all__ = ["Coalescer", "ServedAnswer", "CoalescerStats"]
+
+#: Queue key: one coalescing stream per (index name, guarantee).
+_QueueKey = tuple[str, Guarantee | None]
+
+
+class ServedAnswer(NamedTuple):
+    """One scalar answer scattered out of a coalesced batch.
+
+    Mirrors :class:`~repro.queries.types.QueryResult` plus serving metadata:
+    the epoch/version of the pinned view that produced it and the size of
+    the batch it rode in (1 when the request was alone in its tick).
+
+    A NamedTuple rather than a dataclass: the scatter loop builds one per
+    request on the serving hot path, and tuple construction is several
+    times cheaper than frozen-dataclass ``__init__``.
+    """
+
+    value: float
+    guaranteed: bool
+    exact_fallback: bool
+    error_bound: float | None
+    epoch: int
+    version: int
+    batch_size: int
+
+
+@dataclass
+class CoalescerStats:
+    """Monotone counters exposed through the server's ``/stats`` endpoint."""
+
+    submitted: int = 0
+    served: int = 0
+    rejected: int = 0
+    failed: int = 0
+    batches: int = 0
+    ticks: int = 0
+    max_batch_size: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average requests per engine call (the coalescing win)."""
+        return self.served / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "batches": self.batches,
+            "ticks": self.ticks,
+            "max_batch_size": self.max_batch_size,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+        }
+
+
+class Coalescer:
+    """Collects concurrent scalar requests into vectorized batch calls.
+
+    Parameters
+    ----------
+    hosts:
+        Named :class:`~repro.serve.host.EngineHost` instances (or one host,
+        registered under its own name).
+    max_wait_ms:
+        Tick length: the longest a lone request waits before its flush.
+        Smaller ticks trade batch size (throughput) for latency.
+    max_batch:
+        Largest single engine call; a fuller queue is drained in slices.
+    max_pending:
+        Admission-control bound on queued requests across all queues.
+    """
+
+    def __init__(
+        self,
+        hosts: Mapping[str, EngineHost] | EngineHost,
+        *,
+        max_wait_ms: float = 1.0,
+        max_batch: int = 8192,
+        max_pending: int = 65536,
+    ) -> None:
+        if isinstance(hosts, EngineHost):
+            hosts = {hosts.name: hosts}
+        if not hosts:
+            raise QueryError("coalescer needs at least one host")
+        if max_wait_ms <= 0:
+            raise QueryError(f"max_wait_ms must be positive, got {max_wait_ms}")
+        if max_batch < 1:
+            raise QueryError(f"max_batch must be >= 1, got {max_batch}")
+        if max_pending < 1:
+            raise QueryError(f"max_pending must be >= 1, got {max_pending}")
+        self._hosts = dict(hosts)
+        self._max_wait = max_wait_ms / 1000.0
+        self._max_batch = int(max_batch)
+        self._max_pending = int(max_pending)
+        self._queues: dict[_QueueKey, list[tuple[tuple[float, ...], asyncio.Future]]] = {}
+        self._flushers: dict[_QueueKey, asyncio.Task] = {}
+        self._pending = 0
+        self._closed = False
+        self.stats = CoalescerStats()
+
+    # ------------------------------------------------------------------ #
+    # Submission (event-loop thread)
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        bounds: Sequence[float],
+        guarantee: Guarantee | None = None,
+        *,
+        index: str = "default",
+    ) -> "asyncio.Future[ServedAnswer]":
+        """Enqueue one scalar request; the future resolves at the next flush.
+
+        ``bounds`` is ``(low, high)`` for 1-D hosts and ``(x_low, x_high,
+        y_low, y_high)`` for 2-D hosts.  Malformed bounds are rejected here,
+        per request — never inside a flush, where one bad request would fail
+        its whole batch.
+        """
+        if self._closed:
+            self.stats.rejected += 1
+            raise ServerOverloadedError("server is shutting down")
+        host = self._hosts.get(index)
+        if host is None:
+            raise QueryError(f"unknown index {index!r}")
+        bounds = tuple(map(float, bounds))
+        if len(bounds) != 2 * host.dims:
+            raise QueryError(
+                f"index {index!r} expects {2 * host.dims} bounds, got {len(bounds)}"
+            )
+        for low, high in zip(bounds[::2], bounds[1::2]):
+            if high < low:
+                raise QueryError(f"invalid query range [{low}, {high}]")
+        if self._pending >= self._max_pending:
+            self.stats.rejected += 1
+            raise ServerOverloadedError(
+                f"admission control: {self._pending} requests already pending "
+                f"(max_pending={self._max_pending})"
+            )
+        key: _QueueKey = (index, guarantee)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queues.setdefault(key, []).append((bounds, future))
+        self._pending += 1
+        self.stats.submitted += 1
+        flusher = self._flushers.get(key)
+        if flusher is None or flusher.done():
+            self._flushers[key] = asyncio.ensure_future(self._flush_loop(key))
+        return future
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet answered."""
+        return self._pending
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`stop` has begun (new submissions are rejected)."""
+        return self._closed
+
+    @property
+    def hosts(self) -> dict[str, EngineHost]:
+        """The named hosts this coalescer serves (read-only view)."""
+        return dict(self._hosts)
+
+    # ------------------------------------------------------------------ #
+    # Flushing
+    # ------------------------------------------------------------------ #
+
+    async def _flush_loop(self, key: _QueueKey) -> None:
+        """Per-queue ticker: sleep a tick, drain, exit when a tick is empty.
+
+        The empty-check-then-return path contains no await, so a submit can
+        only interleave while this task is parked on ``sleep`` or inside a
+        flush — both of which re-examine the queue afterwards; no request
+        can be stranded.
+        """
+        while True:
+            await asyncio.sleep(self._max_wait)
+            self.stats.ticks += 1
+            queue = self._queues.get(key)
+            if not queue:
+                return
+            while queue:
+                batch = queue[:self._max_batch]
+                del queue[:self._max_batch]
+                await self._flush(key, batch)
+
+    async def _flush(
+        self, key: _QueueKey, batch: list[tuple[tuple[float, ...], asyncio.Future]]
+    ) -> None:
+        """Evaluate one slice as a single batch call and scatter the answers."""
+        index_name, guarantee = key
+        host = self._hosts[index_name]
+        # One C-level conversion of the bounds tuples, then column views.
+        bounds_matrix = np.array([bounds for bounds, _ in batch], dtype=np.float64)
+        columns = tuple(
+            np.ascontiguousarray(bounds_matrix[:, i])
+            for i in range(2 * host.dims)
+        )
+        view = host.pin()  # on the loop: atomic w.r.t. writes
+        loop = asyncio.get_running_loop()
+        try:
+            answer = await loop.run_in_executor(
+                None, host.execute, view, columns, guarantee
+            )
+        except Exception as error:  # pragma: no cover - engine faults are rare
+            self._pending -= len(batch)
+            self.stats.failed += len(batch)
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self._pending -= len(batch)
+        self.stats.batches += 1
+        self.stats.served += len(batch)
+        self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+        size = len(batch)
+        epoch, version = view.epoch, view.version
+        # Bulk-convert the columns once (C loops) instead of indexing numpy
+        # scalars per request — the scatter loop is the serving hot path.
+        values = answer.values.tolist()
+        guaranteed = answer.guaranteed.tolist()
+        fallback = answer.exact_fallback.tolist()
+        error_bounds = answer.error_bounds.tolist()
+        for i, (_, future) in enumerate(batch):
+            if future.done():  # cancelled by the client
+                continue
+            bound = error_bounds[i]
+            future.set_result(
+                ServedAnswer(
+                    values[i], guaranteed[i], fallback[i],
+                    bound if bound == bound else None,  # NaN -> None
+                    epoch, version, size,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+
+    async def stop(self) -> None:
+        """Drain-then-stop: reject new work, answer everything accepted.
+
+        Idempotent.  After it returns every previously returned future is
+        resolved (with an answer or an engine error) and :meth:`submit`
+        raises :class:`~repro.errors.ServerOverloadedError`.
+        """
+        self._closed = True
+        # Drain directly instead of waiting out the tickers: each slice is
+        # popped synchronously, so a concurrently flushing ticker and this
+        # loop never double-serve a request.
+        for key in list(self._queues):
+            queue = self._queues[key]
+            while queue:
+                batch = queue[:self._max_batch]
+                del queue[:self._max_batch]
+                await self._flush(key, batch)
+        # Never cancel a ticker: one caught mid-flush would abandon its
+        # batch's futures.  With the queues empty each ticker exits on its
+        # own at the next tick, so this waits at most ~one max_wait_ms.
+        flushers = [task for task in self._flushers.values() if not task.done()]
+        await asyncio.gather(*flushers, return_exceptions=True)
+        self._flushers.clear()

@@ -1,0 +1,354 @@
+"""Asyncio HTTP/JSON front-end over the coalescing query engine.
+
+A deliberately small HTTP/1.1 server on raw :func:`asyncio.start_server`
+streams — no third-party web framework, so the serving layer runs anywhere
+the library does (aiohttp-style frameworks add nothing here: the handlers
+are four tiny JSON routes and the hot path is the coalescer, not the
+parser).  Keep-alive is supported; request bodies are JSON.
+
+Routes
+------
+``GET /healthz``
+    Liveness: ``{"status": "ok"}``.
+``GET /stats``
+    Coalescer counters, per-host epoch/version/cache info, uptime.
+``POST /query``
+    One scalar query ``{"low": .., "high": ..}`` (2-D: ``x_low``/``x_high``/
+    ``y_low``/``y_high``), optional ``"index"`` and ``"guarantee":
+    {"kind": "absolute"|"relative", "epsilon": ..}``.  Served through the
+    coalescer — concurrent clients share one vectorized engine call.
+``POST /query_batch``
+    A whole workload ``{"lows": [..], "highs": [..]}`` in one call,
+    bypassing the coalescer (it already *is* a batch); same cache and
+    epoch pinning.
+``POST /insert`` / ``POST /compact``
+    Write endpoints for updatable indexes (404 on immutable hosts would be
+    wrong — they return 400 with the library's NotSupported message).
+
+Status codes: 400 malformed request, 404 unknown route/index, 503 admission
+control or shutdown, 500 engine fault.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import NotSupportedError, QueryError, ReproError, ServerOverloadedError
+from ..queries.types import Guarantee
+from .coalescer import Coalescer, ServedAnswer
+from .host import EngineHost
+
+__all__ = ["ServeServer"]
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+def _parse_guarantee(payload: dict) -> Guarantee | None:
+    """Build a :class:`Guarantee` from the optional request field."""
+    spec = payload.get("guarantee")
+    if spec is None:
+        return None
+    if not isinstance(spec, dict) or "kind" not in spec or "epsilon" not in spec:
+        raise QueryError('guarantee must be {"kind": "absolute"|"relative", "epsilon": x}')
+    kind = spec["kind"]
+    epsilon = float(spec["epsilon"])
+    if kind == "absolute":
+        return Guarantee.absolute(epsilon)
+    if kind == "relative":
+        return Guarantee.relative(epsilon)
+    raise QueryError(f"unknown guarantee kind {kind!r}")
+
+
+def _scalar_bounds(payload: dict, dims: int) -> tuple[float, ...]:
+    """Extract one request's bounds for a 1-D or 2-D host."""
+    names = ("low", "high") if dims == 1 else ("x_low", "x_high", "y_low", "y_high")
+    try:
+        return tuple(float(payload[name]) for name in names)
+    except KeyError as missing:
+        raise QueryError(f"missing bound {missing.args[0]!r}") from None
+    except (TypeError, ValueError):
+        raise QueryError("bounds must be numbers") from None
+
+
+def _batch_bounds(payload: dict, dims: int) -> tuple[np.ndarray, ...]:
+    """Extract a workload's bound arrays for a 1-D or 2-D host."""
+    names = ("lows", "highs") if dims == 1 else ("x_lows", "x_highs", "y_lows", "y_highs")
+    try:
+        columns = tuple(
+            np.asarray(payload[name], dtype=np.float64) for name in names
+        )
+    except KeyError as missing:
+        raise QueryError(f"missing bound array {missing.args[0]!r}") from None
+    except (TypeError, ValueError):
+        raise QueryError("bound arrays must be lists of numbers") from None
+    sizes = {column.shape for column in columns}
+    if len(sizes) != 1 or columns[0].ndim != 1 or columns[0].size == 0:
+        raise QueryError("bound arrays must be equal-length non-empty lists")
+    return columns
+
+
+def _answer_payload(answer: ServedAnswer) -> dict:
+    return {
+        "value": answer.value,
+        "guaranteed": answer.guaranteed,
+        "exact_fallback": answer.exact_fallback,
+        "error_bound": answer.error_bound,
+        "epoch": answer.epoch,
+        "version": answer.version,
+        "batch_size": answer.batch_size,
+    }
+
+
+class ServeServer:
+    """The serving process: hosts + coalescer + HTTP listener.
+
+    Parameters mirror the coalescer's; ``hosts`` is one
+    :class:`EngineHost` or a name->host mapping.  Use :meth:`start` /
+    :meth:`stop` (drain-then-stop) directly, or :meth:`serve_forever` from
+    a CLI entry point.
+    """
+
+    def __init__(
+        self,
+        hosts: Mapping[str, EngineHost] | EngineHost,
+        *,
+        max_wait_ms: float = 1.0,
+        max_batch: int = 8192,
+        max_pending: int = 65536,
+    ) -> None:
+        self.coalescer = Coalescer(
+            hosts,
+            max_wait_ms=max_wait_ms,
+            max_batch=max_batch,
+            max_pending=max_pending,
+        )
+        self._hosts = self.coalescer.hosts
+        self._server: asyncio.AbstractServer | None = None
+        self._started_at = time.monotonic()
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's choice)."""
+        if self._server is None or not self._server.sockets:
+            raise QueryError("server is not listening")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self, host: str = "127.0.0.1", port: int = 8080) -> None:
+        """Bind and start accepting connections."""
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(self._handle_connection, host, port)
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, then drain in-flight requests."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.coalescer.stop()
+        for engine_host in self._hosts.values():
+            engine_host.close()
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 8080) -> None:
+        """Start and serve until cancelled; drains on the way out."""
+        await self.start(host, port)
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                status, payload = await self._route(method, path, body)
+                self.requests_served += 1
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                await self._write_response(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - client went away
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, dict, bytes] | None:
+        request_line = await reader.readline()
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, path, _ = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip().lower()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    async def _write_response(
+        writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   500: "Internal Server Error", 503: "Service Unavailable"}
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, {"status": "ok"}
+            if method == "GET" and path == "/stats":
+                return 200, self._stats_payload()
+            if method != "POST" or path not in (
+                "/query", "/query_batch", "/insert", "/compact"
+            ):
+                return 404, {"error": f"no route for {method} {path}"}
+            try:
+                payload = json.loads(body.decode() or "{}")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                return 400, {"error": "request body is not valid JSON"}
+            if not isinstance(payload, dict):
+                return 400, {"error": "request body must be a JSON object"}
+            host = self._resolve_host(payload)
+            if path == "/query":
+                return await self._handle_query(host, payload)
+            if path == "/query_batch":
+                return await self._handle_query_batch(host, payload)
+            if path == "/insert":
+                return self._handle_insert(host, payload)
+            return self._handle_compact(host)
+        except ServerOverloadedError as error:
+            return 503, {"error": str(error)}
+        except QueryError as error:
+            if str(error).startswith("unknown index"):
+                return 404, {"error": str(error)}
+            return 400, {"error": str(error)}
+        except ReproError as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # pragma: no cover - unexpected faults
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    def _resolve_host(self, payload: dict) -> EngineHost:
+        name = payload.get("index", "default")
+        host = self._hosts.get(name)
+        if host is None:
+            raise QueryError(f"unknown index {name!r}")
+        return host
+
+    def _stats_payload(self) -> dict:
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests_served": self.requests_served,
+            "pending": self.coalescer.pending,
+            "coalescer": self.coalescer.stats.as_dict(),
+            "hosts": {name: host.info() for name, host in self._hosts.items()},
+        }
+
+    async def _handle_query(self, host: EngineHost, payload: dict) -> tuple[int, dict]:
+        guarantee = _parse_guarantee(payload)
+        bounds = _scalar_bounds(payload, host.dims)
+        answer = await self.coalescer.submit(bounds, guarantee, index=host.name)
+        return 200, _answer_payload(answer)
+
+    async def _handle_query_batch(
+        self, host: EngineHost, payload: dict
+    ) -> tuple[int, dict]:
+        guarantee = _parse_guarantee(payload)
+        columns = _batch_bounds(payload, host.dims)
+        view = host.pin()
+        loop = asyncio.get_running_loop()
+        answer = await loop.run_in_executor(
+            None, host.execute, view, columns, guarantee
+        )
+        bounds_list = [
+            None if np.isnan(b) else float(b) for b in answer.error_bounds
+        ]
+        return 200, {
+            "values": answer.values.tolist(),
+            "guaranteed": answer.guaranteed.tolist(),
+            "exact_fallback": answer.exact_fallback.tolist(),
+            "error_bounds": bounds_list,
+            "epoch": view.epoch,
+            "version": view.version,
+        }
+
+    def _handle_insert(self, host: EngineHost, payload: dict) -> tuple[int, dict]:
+        keys = payload.get("keys")
+        if not isinstance(keys, list) or not keys:
+            raise QueryError('insert needs {"keys": [..]} (optional "measures")')
+        measures = payload.get("measures")
+        try:
+            key_array = np.asarray(keys, dtype=np.float64)
+            measure_array = (
+                None if measures is None else np.asarray(measures, dtype=np.float64)
+            )
+        except (TypeError, ValueError):
+            raise QueryError("keys and measures must be lists of numbers") from None
+        inserted = host.insert(key_array, measure_array)
+        return 200, {
+            "inserted": inserted,
+            "epoch": int(getattr(host.index, "epoch", 0)),
+            "version": int(getattr(host.index, "version", 0)),
+            "buffer_size": int(getattr(host.index, "buffer_size", 0)),
+        }
+
+    def _handle_compact(self, host: EngineHost) -> tuple[int, dict]:
+        if not host.updatable:
+            raise NotSupportedError(
+                f"index {host.name!r} is immutable; compact requires an updatable index"
+            )
+        changed = host.compact()
+        return 200, {
+            "compacted": changed,
+            "epoch": int(getattr(host.index, "epoch", 0)),
+            "version": int(getattr(host.index, "version", 0)),
+        }

@@ -70,6 +70,143 @@ class TestSequentialSampler:
             SequentialSampler(np.array([]))
 
 
+class TestTwoPassBatch:
+    """The vectorized two-pass stopping rule vs the sequential oracle."""
+
+    @pytest.fixture()
+    def keys(self):
+        rng = np.random.default_rng(20)
+        return np.sort(rng.uniform(0, 1000, size=100_000))
+
+    @pytest.fixture()
+    def workload(self, keys):
+        rng = np.random.default_rng(21)
+        lows = rng.uniform(0, 700, size=150)
+        highs = lows + rng.uniform(100, 300, size=150)
+        exact = (
+            np.searchsorted(keys, highs, side="right")
+            - np.searchsorted(keys, lows, side="left")
+        ).astype(np.float64)
+        return lows, highs, exact
+
+    def test_count_guarantee_holds_at_confidence(self, keys, workload):
+        """Violation rate stays within the oracle's probabilistic budget.
+
+        The sequential rule promises rel <= 0.05 with probability 0.9; the
+        two-pass variant targets the same, so over 150 queries the observed
+        violation fraction must stay comfortably below 1 - confidence
+        (0.1) plus sampling slack.
+        """
+        lows, highs, exact = workload
+        sampler = SequentialSampler(
+            keys, relative_error=0.05, confidence=0.9, batch_size=512, seed=22
+        )
+        estimates = sampler.range_estimate_batch_two_pass(lows, highs)
+        relative = np.abs(estimates - exact) / exact
+        assert float((relative > 0.05).mean()) <= 0.15
+
+    def test_sum_guarantee_holds(self, keys, workload):
+        lows, highs, exact = workload
+        rng = np.random.default_rng(23)
+        measures = rng.uniform(1.0, 5.0, size=keys.size)
+        sampler = SequentialSampler(
+            keys, measures, relative_error=0.05, confidence=0.9,
+            batch_size=512, seed=24,
+        )
+        estimates = sampler.range_estimate_batch_two_pass(
+            lows, highs, Aggregate.SUM
+        )
+        prefix = np.concatenate(([0.0], np.cumsum(measures)))
+        exact_sums = (
+            prefix[np.searchsorted(keys, highs, side="right")]
+            - prefix[np.searchsorted(keys, lows, side="left")]
+        )
+        relative = np.abs(estimates - exact_sums) / exact_sums
+        assert float((relative > 0.05).mean()) <= 0.15
+
+    def test_matches_sequential_oracle_accuracy(self, keys, workload):
+        """Two-pass errors are in the same band as the per-query loop's."""
+        lows, highs, exact = workload
+        two_pass = SequentialSampler(
+            keys, relative_error=0.05, confidence=0.9, batch_size=512, seed=25
+        )
+        sequential = SequentialSampler(
+            keys, relative_error=0.05, confidence=0.9, batch_size=512, seed=25
+        )
+        batch = two_pass.range_estimate_batch_two_pass(lows[:30], highs[:30])
+        loop = sequential.range_estimate_batch(lows[:30], highs[:30])
+        batch_err = np.abs(batch - exact[:30]) / exact[:30]
+        loop_err = np.abs(loop - exact[:30]) / exact[:30]
+        assert np.median(batch_err) <= max(2.0 * np.median(loop_err), 0.05)
+
+    def test_deterministic_for_fixed_seed(self, keys, workload):
+        lows, highs, _ = workload
+        first = SequentialSampler(keys, batch_size=256, seed=26)
+        second = SequentialSampler(keys, batch_size=256, seed=26)
+        assert np.array_equal(
+            first.range_estimate_batch_two_pass(lows, highs),
+            second.range_estimate_batch_two_pass(lows, highs),
+        )
+
+    def test_chunking_does_not_change_memory_model(self, keys, workload):
+        """Tiny chunks/blocks answer every query (bounded-memory path)."""
+        lows, highs, exact = workload
+        sampler = SequentialSampler(
+            keys, relative_error=0.1, confidence=0.9, batch_size=256, seed=27
+        )
+        estimates = sampler.range_estimate_batch_two_pass(
+            lows[:20], highs[:20], query_chunk=3, sample_block=128
+        )
+        assert estimates.shape == (20,)
+        relative = np.abs(estimates - exact[:20]) / exact[:20]
+        assert float((relative > 0.1).mean()) <= 0.25
+
+    def test_selective_queries_top_up_more(self, keys):
+        """The adaptive round draws more for hard (selective) queries."""
+        sampler = SequentialSampler(
+            keys, relative_error=0.05, confidence=0.9, batch_size=256,
+            max_fraction=0.5, seed=28,
+        )
+        # One easy (broad) and one hard (narrow) query: the narrow one's
+        # pilot interval is far from closing, so its estimate must ride a
+        # much larger share of the shared pool.  Observable via accuracy:
+        # both still land inside the (loose) guarantee band.
+        estimates = sampler.range_estimate_batch_two_pass(
+            np.array([0.0, 499.0]), np.array([1000.0, 501.0])
+        )
+        exact_broad = float(keys.size)
+        exact_narrow = float(
+            np.count_nonzero((keys >= 499.0) & (keys <= 501.0))
+        )
+        assert abs(estimates[0] - exact_broad) / exact_broad <= 0.05
+        assert abs(estimates[1] - exact_narrow) / max(exact_narrow, 1.0) <= 0.5
+
+    def test_max_fraction_caps_the_top_up(self, keys):
+        sampler = SequentialSampler(
+            keys, relative_error=0.001, confidence=0.99, batch_size=128,
+            max_fraction=0.005, seed=29,
+        )
+        estimates = sampler.range_estimate_batch_two_pass(
+            np.array([100.0]), np.array([900.0])
+        )
+        assert np.all(np.isfinite(estimates))
+
+    def test_rejects_bad_inputs(self, keys):
+        sampler = SequentialSampler(keys, seed=30)
+        with pytest.raises(NotSupportedError):
+            sampler.range_estimate_batch_two_pass(
+                np.array([0.0]), np.array([1.0]), Aggregate.MAX
+            )
+        with pytest.raises(QueryError):
+            sampler.range_estimate_batch_two_pass(
+                np.array([0.0, 1.0]), np.array([1.0])
+            )
+        with pytest.raises(QueryError):
+            sampler.range_estimate_batch_two_pass(
+                np.array([0.0]), np.array([1.0]), query_chunk=0
+            )
+
+
 class TestSampledBTree:
     @pytest.fixture()
     def keys(self):
