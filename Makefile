@@ -26,11 +26,19 @@
 #                       engine call per request: idle round-trip, open-loop
 #                       latency percentiles by offered QPS, saturation
 #                       throughput), writes BENCH_serve_latency.json
+#   make bench-fleet  - full fleet-scaling protocol (scatter-gather vs the
+#                       monolithic index: bit-identity across aggregates,
+#                       throughput vs partition count, straddle/bound
+#                       profile, routed inserts), writes
+#                       BENCH_fleet_scaling.json
+#   make docs-lint    - README/docs link + anchor checker, and every
+#                       BENCH_*.json named in the docs must be emitted by a
+#                       benchmark (and vice versa)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: tier1 lint smoke-batch bench-batch bench-shards bench-build bench-update bench-serve
+.PHONY: tier1 lint docs-lint smoke-batch bench-batch bench-shards bench-build bench-update bench-serve bench-fleet
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -45,11 +53,13 @@ lint:
 smoke-batch:
 	$(PYTHON) -m pytest -x -q tests/test_batch_equivalence.py tests/test_batch_smoke.py \
 		tests/test_directory.py tests/test_sharding.py tests/test_codec.py \
-		tests/test_fitting_incremental.py \
+		tests/test_codec_compat.py tests/test_fitting_incremental.py \
 		tests/test_stream_updatable.py tests/test_stream_2d.py \
 		tests/test_serve_coalescer.py tests/test_serve_http.py \
+		tests/test_fleet.py \
 		benchmarks/bench_shard_scaling.py benchmarks/bench_build_time.py \
-		benchmarks/bench_update_throughput.py benchmarks/bench_serve_latency.py
+		benchmarks/bench_update_throughput.py benchmarks/bench_serve_latency.py \
+		benchmarks/bench_fleet_scaling.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
@@ -65,3 +75,9 @@ bench-update:
 
 bench-serve:
 	$(PYTHON) benchmarks/bench_serve_latency.py
+
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet_scaling.py
+
+docs-lint:
+	$(PYTHON) tools/check_docs.py

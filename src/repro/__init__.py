@@ -88,6 +88,17 @@ from .stream import (
     UpdatablePolyFitIndex,
     UpdatablePolyFit2DIndex,
 )
+from .fleet import (
+    PartitionMap,
+    Partition,
+    FleetPolicy,
+    FleetRouter,
+    IndexFleet,
+    FleetSnapshot,
+    Fleet2D,
+    save_fleet,
+    load_fleet,
+)
 from .fitting import (
     Polynomial1D,
     Polynomial2D,
@@ -159,6 +170,16 @@ __all__ = [
     "DeltaBuffer",
     "UpdatablePolyFitIndex",
     "UpdatablePolyFit2DIndex",
+    # partitioned fleet
+    "PartitionMap",
+    "Partition",
+    "FleetPolicy",
+    "FleetRouter",
+    "IndexFleet",
+    "FleetSnapshot",
+    "Fleet2D",
+    "save_fleet",
+    "load_fleet",
     # fitting
     "Polynomial1D",
     "Polynomial2D",

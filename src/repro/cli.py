@@ -1,6 +1,6 @@
 """Command-line interface for building, querying and serving PolyFit indexes.
 
-Provides six subcommands mirroring a typical deployment workflow:
+Provides eight subcommands mirroring a typical deployment workflow:
 
 ``build``
     Load a (key, measure) CSV, build a PolyFit index for the requested
@@ -19,10 +19,20 @@ Provides six subcommands mirroring a typical deployment workflow:
     :class:`~repro.stream.UpdatablePolyFitIndex` (append → query → compact),
     and report buffer fill, epochs and probe-query accuracy along the way.
 
+``fleet-build``
+    Build a horizontally partitioned index fleet (:mod:`repro.fleet`) from
+    a CSV or synthetic records and persist it as a manifest directory of
+    per-partition binary codec files.
+
+``fleet-stats``
+    Print a saved fleet's stats: routing splits, per-partition key counts,
+    segments, buffer fill, epochs and sizes.
+
 ``serve``
     Stand up the asyncio HTTP serving front (:mod:`repro.serve`) over a
-    built index file or a synthetic updatable index: concurrent scalar
-    requests are coalesced into vectorized batch calls each tick.
+    built index file, a fleet directory (``fleet-build`` output), or a
+    synthetic updatable index: concurrent scalar requests are coalesced
+    into vectorized batch calls each tick.
 
 ``query-remote``
     Smoke-test a running server: one scalar query (or ``--stats``) over
@@ -36,6 +46,9 @@ Example
     python -m repro.cli query index.json 1000 2000 --eps-abs 50
     python -m repro.cli info index.json
     python -m repro.cli ingest --synthetic 20000 --delta 50 --max-buffer 2048
+    python -m repro.cli fleet-build fleet/ --synthetic 100000 --delta 50 --num-partitions 8
+    python -m repro.cli fleet-stats fleet/
+    python -m repro.cli serve fleet/ --port 8080
     python -m repro.cli serve --synthetic 100000 --delta 100 --port 8080
     python -m repro.cli query-remote http://127.0.0.1:8080 1000 2000 --eps-abs 200
 """
@@ -123,11 +136,56 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--seed", type=int, default=0,
                         help="seed for the synthetic stream")
 
+    fleet_build = subparsers.add_parser(
+        "fleet-build", help="build a partitioned index fleet into a directory"
+    )
+    fleet_build.add_argument("output_dir",
+                             help="directory for the fleet manifest + partition files")
+    fleet_build.add_argument("input_csv", nargs="?", default=None,
+                             help="CSV source (omit when using --synthetic)")
+    fleet_build.add_argument("--synthetic", type=int, default=None, metavar="N",
+                             help="generate N synthetic records instead of a CSV")
+    fleet_build.add_argument("--aggregate", choices=[a.value for a in Aggregate],
+                             default="count", help="aggregate the fleet answers")
+    fleet_build.add_argument("--key-column", type=int, default=0)
+    fleet_build.add_argument("--measure-column", type=int, default=1)
+    fleet_build.add_argument("--no-header", action="store_true",
+                             help="the CSV file has no header row")
+    fleet_build.add_argument("--degree", type=int, default=1,
+                             help="polynomial degree of every partition")
+    fleet_budget = fleet_build.add_mutually_exclusive_group(required=True)
+    fleet_budget.add_argument("--eps-abs", type=float,
+                              help="absolute error guarantee (Problem 1)")
+    fleet_budget.add_argument("--delta", type=float,
+                              help="per-segment budget (for relative-error workloads)")
+    fleet_build.add_argument("--num-partitions", type=int, default=4,
+                             help="partition count (balanced distinct-key quantiles)")
+    fleet_build.add_argument("--splits", default=None,
+                             help="explicit comma-separated split keys "
+                                  "(overrides --num-partitions)")
+    fleet_build.add_argument("--max-keys", type=int, default=None,
+                             help="FleetPolicy: split partitions above this key count")
+    fleet_build.add_argument("--merge-keys", type=int, default=None,
+                             help="FleetPolicy: merge neighbours at or below this "
+                                  "combined key count")
+    fleet_build.add_argument("--auto-rebalance", action="store_true",
+                             help="rebalance automatically after inserts")
+    fleet_build.add_argument("--max-buffer", type=int, default=65536,
+                             help="per-partition compaction threshold")
+    fleet_build.add_argument("--seed", type=int, default=0,
+                             help="seed for the synthetic records")
+
+    fleet_stats = subparsers.add_parser(
+        "fleet-stats", help="describe a saved fleet directory"
+    )
+    fleet_stats.add_argument("fleet_dir", help="directory written by fleet-build")
+
     serve = subparsers.add_parser(
         "serve", help="serve an index over HTTP with request coalescing"
     )
     serve.add_argument("index_file", nargs="?", default=None,
-                       help="built index (JSON or binary codec; omit with --synthetic)")
+                       help="built index (JSON or binary codec) or a fleet "
+                            "directory; omit with --synthetic")
     serve.add_argument("--synthetic", type=int, default=None, metavar="N",
                        help="serve an updatable index built over N synthetic records")
     serve.add_argument("--aggregate", choices=[a.value for a in Aggregate],
@@ -314,11 +372,68 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fleet_build(args: argparse.Namespace) -> int:
+    from .fleet import FleetPolicy, IndexFleet, save_fleet
+
+    aggregate = Aggregate(args.aggregate)
+    keys, measures = _ingest_records(args)
+    config = IndexConfig(
+        fit=FitConfig(degree=args.degree),
+        segmentation=SegmentationConfig(delta=args.delta if args.delta else 1.0),
+    )
+    policy = FleetPolicy(
+        max_keys=args.max_keys,
+        merge_keys=args.merge_keys,
+        auto=args.auto_rebalance,
+        compaction=CompactionPolicy(max_buffer=args.max_buffer, auto=True),
+    )
+    splits = None
+    if args.splits is not None:
+        splits = [float(part) for part in args.splits.split(",") if part.strip()]
+    fleet = IndexFleet.build(
+        keys,
+        None if aggregate is Aggregate.COUNT else measures,
+        aggregate,
+        delta=args.delta,
+        guarantee=Guarantee.absolute(args.eps_abs) if args.eps_abs else None,
+        config=config,
+        policy=policy,
+        splits=splits,
+        num_partitions=args.num_partitions,
+    )
+    manifest = save_fleet(fleet, args.output_dir)
+    print(
+        f"built {aggregate.value} fleet: {fleet.num_partitions} partitions, "
+        f"{fleet.num_keys} keys, {fleet.num_segments} segments, "
+        f"delta={fleet.delta:g}, {fleet.size_in_bytes() / 1024:.2f} KiB "
+        f"-> {manifest}"
+    )
+    return 0
+
+
+def _command_fleet_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .fleet import load_fleet
+
+    fleet = load_fleet(args.fleet_dir)
+    print(_json.dumps(fleet.stats(), indent=2))
+    return 0
+
+
 def _serve_index(args: argparse.Namespace):
-    """The index to serve: a codec file or a synthetic updatable build."""
+    """The index to serve: a codec file, a fleet directory, or a synthetic
+    updatable build."""
     if (args.index_file is None) == (args.synthetic is None):
         raise QueryError("provide exactly one of index_file or --synthetic N")
     if args.index_file is not None:
+        from .fleet import is_fleet_dir, load_fleet
+
+        if is_fleet_dir(args.index_file):
+            # The fleet router stays serial here: the host's own num_shards
+            # chunk-shards whole batches over the fleet snapshot, which
+            # composes with the data-parallel fan-out without nesting pools.
+            return load_fleet(args.index_file)
         return load_index(args.index_file)
     if args.synthetic < 4:
         raise QueryError("--synthetic needs at least 4 records")
@@ -434,6 +549,8 @@ _COMMANDS = {
     "query": _command_query,
     "info": _command_info,
     "ingest": _command_ingest,
+    "fleet-build": _command_fleet_build,
+    "fleet-stats": _command_fleet_stats,
     "serve": _command_serve,
     "query-remote": _command_query_remote,
 }

@@ -1,0 +1,185 @@
+"""Key-range ownership map for a horizontally partitioned index fleet.
+
+A :class:`PartitionMap` is the one piece of routing state the whole fleet
+shares: ``k`` sorted split keys dividing the real line into ``k + 1``
+half-open ownership ranges.  Partition ``i`` owns keys in
+``[splits[i-1], splits[i])`` (the first partition extends to ``-inf``, the
+last to ``+inf``), so every finite key has exactly one owner and ownership
+is resolvable with a single ``searchsorted`` for any number of keys at
+once — the map is to partitions what the flat
+:class:`~repro.index.directory.CellDirectory` locate array is to segments.
+
+Query planning uses the same array: a range ``[low, high]`` (both ends
+inclusive, matching :class:`~repro.queries.types.RangeQuery`) overlaps
+exactly the partitions ``locate(low) .. locate(high)``, and the clip of the
+range against partition ``i`` is
+``[max(low, lower_bound(i)), min(high, inclusive_upper_bound(i))]`` where
+the inclusive upper bound is the largest float below the split key.  The
+clipped sub-ranges tile the query range without overlap, which is what
+makes the scatter-gather merge exact (COUNT/SUM contributions add;
+MAX/MIN contributions combine with NaN-aware fmax/fmin).
+
+Maps are immutable: :meth:`with_split` / :meth:`with_merge` return new maps,
+so a frozen fleet snapshot keeps routing against the map it was taken with
+even while the live fleet rebalances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataError
+
+__all__ = ["PartitionMap"]
+
+
+class PartitionMap:
+    """Sorted split keys -> partition ids, binary-searchable and serializable.
+
+    Parameters
+    ----------
+    splits:
+        Strictly increasing, finite split keys.  An empty array is valid and
+        describes a single partition owning the whole key line.
+    """
+
+    def __init__(self, splits: np.ndarray | list[float]) -> None:
+        splits = np.asarray(splits, dtype=np.float64)
+        if splits.ndim != 1:
+            raise DataError("split keys must form a 1-D array")
+        if splits.size and not np.all(np.isfinite(splits)):
+            raise DataError("split keys must be finite")
+        if splits.size > 1 and not np.all(np.diff(splits) > 0):
+            raise DataError("split keys must be strictly increasing")
+        self._splits = np.ascontiguousarray(splits)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def splits(self) -> np.ndarray:
+        """The split keys (read-only view; length ``num_partitions - 1``)."""
+        view = self._splits.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of ownership ranges (``len(splits) + 1``)."""
+        return int(self._splits.size) + 1
+
+    def __len__(self) -> int:
+        return self.num_partitions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionMap):
+            return NotImplemented
+        return bool(np.array_equal(self._splits, other._splits))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PartitionMap(splits={self._splits.tolist()!r})"
+
+    # ------------------------------------------------------------------ #
+    # Ownership and bounds
+    # ------------------------------------------------------------------ #
+
+    def locate(self, keys: np.ndarray | float) -> np.ndarray:
+        """Owning partition id for each key (vectorized binary search).
+
+        A key equal to a split key belongs to the partition *above* it
+        (ownership ranges are closed below, open above).
+        """
+        return np.searchsorted(self._splits, np.asarray(keys, dtype=np.float64),
+                               side="right")
+
+    def _check_pid(self, pid: int) -> int:
+        pid = int(pid)
+        if not 0 <= pid < self.num_partitions:
+            raise DataError(
+                f"partition id {pid} out of range [0, {self.num_partitions})"
+            )
+        return pid
+
+    def lower_bound(self, pid: int) -> float:
+        """Inclusive lower edge of partition ``pid`` (``-inf`` for the first)."""
+        pid = self._check_pid(pid)
+        return float(self._splits[pid - 1]) if pid else -np.inf
+
+    def upper_bound(self, pid: int) -> float:
+        """Exclusive upper edge of partition ``pid`` (``+inf`` for the last)."""
+        pid = self._check_pid(pid)
+        if pid == self.num_partitions - 1:
+            return np.inf
+        return float(self._splits[pid])
+
+    def inclusive_upper_bound(self, pid: int) -> float:
+        """Largest key value partition ``pid`` can own (for range clipping).
+
+        The largest representable float strictly below the split key, so a
+        clipped query ``[max(low, lower), min(high, inclusive_upper)]`` keeps
+        both ends inclusive without ever touching the neighbour's keys.
+        """
+        upper = self.upper_bound(pid)
+        return upper if np.isinf(upper) else float(np.nextafter(upper, -np.inf))
+
+    def clip(
+        self, pid: int, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Clip query ranges against partition ``pid``'s ownership range.
+
+        Returns new (lows, highs) arrays; callers select overlapping queries
+        first (via :meth:`locate` on both bounds), so the clipped ranges are
+        always non-empty (``low <= high``).
+        """
+        return (
+            np.maximum(np.asarray(lows, dtype=np.float64), self.lower_bound(pid)),
+            np.minimum(np.asarray(highs, dtype=np.float64),
+                       self.inclusive_upper_bound(pid)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Rebalancing (immutable updates)
+    # ------------------------------------------------------------------ #
+
+    def with_split(self, pid: int, key: float) -> "PartitionMap":
+        """New map where partition ``pid`` is split at ``key``.
+
+        ``key`` becomes a new split key and must lie strictly inside the
+        partition's open range (above its lower edge, below its upper edge);
+        keys ``>= key`` move to the new right-hand partition ``pid + 1``.
+        """
+        pid = self._check_pid(pid)
+        key = float(key)
+        if not np.isfinite(key):
+            raise DataError("split key must be finite")
+        if not self.lower_bound(pid) < key < self.upper_bound(pid):
+            raise DataError(
+                f"split key {key} outside partition {pid}'s open range "
+                f"({self.lower_bound(pid)}, {self.upper_bound(pid)})"
+            )
+        return PartitionMap(np.insert(self._splits, pid, key))
+
+    def with_merge(self, pid: int) -> "PartitionMap":
+        """New map where partitions ``pid`` and ``pid + 1`` are merged.
+
+        Drops the split key between them; the merged partition keeps id
+        ``pid`` and owns the union of both ranges.
+        """
+        pid = self._check_pid(pid)
+        if pid >= self.num_partitions - 1:
+            raise DataError(f"partition {pid} has no right neighbour to merge with")
+        return PartitionMap(np.delete(self._splits, pid))
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_payload(self) -> list[float]:
+        """JSON-compatible form (the split keys)."""
+        return [float(key) for key in self._splits]
+
+    @classmethod
+    def from_payload(cls, payload: list[float]) -> "PartitionMap":
+        """Inverse of :meth:`to_payload`."""
+        return cls(np.asarray(payload, dtype=np.float64))

@@ -1,0 +1,118 @@
+"""Size-based rebalancing policy for a partitioned index fleet.
+
+The same ``auto_partitioning_by_size`` discipline production table stores
+apply: a partition that grows past ``max_keys`` (or ``max_bytes``, when
+set) should split at its median key; two adjacent partitions whose
+*combined* size stays under ``merge_keys`` should merge so the fleet does
+not accumulate slivers after skewed ingest.  The policy only *decides* —
+the fleet executes splits/merges and :class:`~repro.fleet.map.PartitionMap`
+carries the resulting routing state.
+
+Each partition additionally carries its own
+:class:`~repro.stream.policy.CompactionPolicy` (delta-buffer discipline);
+the fleet policy nests a template for it so ``fleet-build`` can configure
+both layers from one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import DataError
+from ..stream.policy import CompactionPolicy
+
+__all__ = ["FleetPolicy", "DEFAULT_FLEET_POLICY"]
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """When to split / merge partitions, and how each partition compacts.
+
+    Parameters
+    ----------
+    max_keys:
+        Split a partition once it holds more than this many keys
+        (delta-buffer records included).  ``None`` disables key-count splits.
+    merge_keys:
+        Merge two adjacent partitions when their combined key count is at
+        most this.  ``None`` disables merges.  Must stay below ``max_keys``
+        when both are set, otherwise a merge would immediately re-split.
+    max_bytes:
+        Split a partition once its estimated in-memory footprint exceeds
+        this.  ``None`` disables byte-based splits.
+    auto:
+        When ``True`` the fleet checks :meth:`should_split` after every
+        insert batch and rebalances inline; when ``False`` rebalancing only
+        happens via explicit ``split()`` / ``merge()`` / ``rebalance()``.
+    compaction:
+        Template :class:`~repro.stream.policy.CompactionPolicy` handed to
+        every partition's ``UpdatablePolyFitIndex``.
+    """
+
+    max_keys: int | None = None
+    merge_keys: int | None = None
+    max_bytes: int | None = None
+    auto: bool = False
+    compaction: CompactionPolicy = field(default_factory=CompactionPolicy)
+
+    def __post_init__(self) -> None:
+        if self.max_keys is not None and self.max_keys < 2:
+            raise DataError(f"max_keys must be >= 2, got {self.max_keys}")
+        if self.merge_keys is not None and self.merge_keys < 0:
+            raise DataError(f"merge_keys must be >= 0, got {self.merge_keys}")
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise DataError(f"max_bytes must be positive, got {self.max_bytes}")
+        if (
+            self.max_keys is not None
+            and self.merge_keys is not None
+            and self.merge_keys >= self.max_keys
+        ):
+            raise DataError(
+                f"merge_keys ({self.merge_keys}) must be < max_keys "
+                f"({self.max_keys}) or merged partitions would re-split"
+            )
+
+    def should_split(self, num_keys: int, size_in_bytes: int) -> bool:
+        """True when a partition of this size is due for a median split."""
+        if self.max_keys is not None and num_keys > self.max_keys:
+            return True
+        return self.max_bytes is not None and size_in_bytes > self.max_bytes
+
+    def should_merge(self, combined_keys: int) -> bool:
+        """True when two adjacent partitions with this combined size should merge."""
+        return self.merge_keys is not None and combined_keys <= self.merge_keys
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-compatible form (fleet manifest block)."""
+        return {
+            "max_keys": self.max_keys,
+            "merge_keys": self.merge_keys,
+            "max_bytes": self.max_bytes,
+            "auto": self.auto,
+            "compaction": self.compaction.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "FleetPolicy":
+        """Inverse of :meth:`to_payload`."""
+        compaction_payload = payload.get("compaction")
+        return cls(
+            max_keys=payload.get("max_keys"),
+            merge_keys=payload.get("merge_keys"),
+            max_bytes=payload.get("max_bytes"),
+            auto=bool(payload.get("auto", False)),
+            compaction=(
+                CompactionPolicy()
+                if compaction_payload is None
+                else CompactionPolicy.from_payload(compaction_payload)
+            ),
+        )
+
+
+#: Manual-only policy: no automatic splits or merges, default compaction.
+DEFAULT_FLEET_POLICY = FleetPolicy()

@@ -1,0 +1,277 @@
+"""Scatter-gather query routing over a set of partition read views.
+
+:class:`FleetRouter` turns one batch of range queries into per-partition
+sub-batches and merges the partial answers back with the overlay combine
+algebra:
+
+* **scatter** — a query ``[low, high]`` overlaps exactly the partitions
+  ``locate(low) .. locate(high)`` of the :class:`~repro.fleet.map.
+  PartitionMap`; its rectangle is clipped against each partition's
+  ownership range, so the clipped sub-ranges tile the query without
+  overlap.  Planning is one vectorized ``searchsorted`` pair plus one
+  boolean mask per partition — never a per-query loop.
+* **gather** — cumulative partials (COUNT/SUM) start from zeros and *add*;
+  extreme partials (MAX/MIN) start from NaN and combine with the NaN-aware
+  ``np.fmax``/``np.fmin``, so a partition whose clip holds no keys answers
+  NaN and simply drops out of the merge instead of poisoning it
+  (``fmax(NaN, x) == x``; the merged answer is NaN only when *every*
+  overlapping partition is empty over the clip — exactly the monolithic
+  empty-range answer).
+* **certificates** — the merged error bound is per query: the *sum* of the
+  overlapping partitions' certified bounds for cumulative aggregates
+  (partial errors add), their *max* for extremes.  The per-query bound
+  array feeds the shared :func:`~repro.queries.batch.
+  resolve_batch_certificates`, so the merged guarantee stays certified:
+  relative certificates compare against the per-query bound and fall back
+  to the merged exact answer when uncertified, exactly like a single
+  PolyFit index.
+
+Each non-empty partition view can be wrapped in a
+:class:`~repro.queries.sharding.ShardedQueryEngine` (``num_shards > 1`` or
+a non-serial ``executor``), stacking query-parallel execution under the
+data-parallel fan-out.
+
+A router is a frozen plan over frozen views: build it from a consistent
+set of partition snapshots and it keeps answering that epoch while the
+live fleet compacts or rebalances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Aggregate
+from ..errors import DataError
+from ..queries.batch import resolve_batch_certificates, validate_bounds_batch
+from ..queries.sharding import DEFAULT_MIN_QUERIES_PER_SHARD, ShardedQueryEngine
+from ..queries.types import BatchQueryResult, Guarantee
+from .map import PartitionMap
+from .partition import EmptyPartitionView
+
+__all__ = ["FleetRouter", "PartitionPlan"]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Sub-batch for one partition: which queries, with clipped bounds."""
+
+    pid: int
+    query_indices: np.ndarray
+    lows: np.ndarray
+    highs: np.ndarray
+
+
+class FleetRouter:
+    """Plan, fan out, and merge batch queries over partition views.
+
+    Parameters
+    ----------
+    partition_map:
+        Routing state; must have exactly one entry per view.
+    views:
+        One frozen read view per partition (a
+        :class:`~repro.index.overlay.DirectoryOverlay` or an
+        :class:`~repro.fleet.partition.EmptyPartitionView`), each exposing
+        ``estimate_batch`` / ``exact_batch`` / ``certified_bound``.
+    aggregate:
+        The fleet's aggregate (decides the merge algebra).
+    num_shards, executor, min_queries_per_shard:
+        Query-parallelism knobs: with ``num_shards > 1`` or a non-serial
+        executor every non-empty view is wrapped in a
+        :class:`~repro.queries.sharding.ShardedQueryEngine` with these
+        settings (empty views answer O(1) identities and are never
+        wrapped).
+    """
+
+    def __init__(
+        self,
+        partition_map: PartitionMap,
+        views: list,
+        aggregate: Aggregate,
+        *,
+        num_shards: int = 1,
+        executor: str = "serial",
+        min_queries_per_shard: int = DEFAULT_MIN_QUERIES_PER_SHARD,
+    ) -> None:
+        if len(views) != partition_map.num_partitions:
+            raise DataError(
+                f"partition map expects {partition_map.num_partitions} views, "
+                f"got {len(views)}"
+            )
+        self._map = partition_map
+        self._views = list(views)
+        self._aggregate = aggregate
+        self._cumulative = aggregate.is_cumulative
+        self._combine = np.fmax if aggregate is Aggregate.MAX else np.fmin
+        self._sharded = num_shards > 1 or executor != "serial"
+        self._engines: list = []
+        for view in self._views:
+            if self._sharded and not isinstance(view, EmptyPartitionView):
+                self._engines.append(
+                    ShardedQueryEngine.for_index(
+                        view,
+                        num_shards=num_shards,
+                        executor=executor,
+                        min_queries_per_shard=min_queries_per_shard,
+                    )
+                )
+            else:
+                self._engines.append(view)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def partition_map(self) -> PartitionMap:
+        """The routing state this router was frozen with."""
+        return self._map
+
+    @property
+    def aggregate(self) -> Aggregate:
+        """Aggregate the routed fleet answers."""
+        return self._aggregate
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions fanned out over."""
+        return len(self._views)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def plan(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[PartitionPlan]]:
+        """Clip a query batch into per-partition sub-batches.
+
+        Returns the validated bound arrays plus one
+        :class:`PartitionPlan` per partition that at least one query
+        overlaps.  The sub-ranges of one query across its plans tile the
+        original range without overlap (partition ownership is half-open;
+        the clip's inclusive upper bound is the largest float below the
+        split key).
+        """
+        lows, highs = validate_bounds_batch(lows, highs)
+        first = self._map.locate(lows)
+        last = self._map.locate(highs)
+        plans: list[PartitionPlan] = []
+        for pid in range(self._map.num_partitions):
+            mask = (first <= pid) & (pid <= last)
+            if not mask.any():
+                continue
+            indices = np.nonzero(mask)[0]
+            clip_lows, clip_highs = self._map.clip(pid, lows[indices], highs[indices])
+            plans.append(PartitionPlan(pid, indices, clip_lows, clip_highs))
+        return lows, highs, plans
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+
+    def _scatter(self, method: str, plans: list[PartitionPlan]) -> list[np.ndarray]:
+        return [
+            getattr(self._engines[plan.pid], method)(plan.lows, plan.highs)
+            for plan in plans
+        ]
+
+    def _merge_values(
+        self, n: int, plans: list[PartitionPlan], partials: list[np.ndarray]
+    ) -> np.ndarray:
+        if self._cumulative:
+            merged = np.zeros(n, dtype=np.float64)
+            for plan, part in zip(plans, partials):
+                merged[plan.query_indices] += part
+            return merged
+        # NaN is the merge identity: fmax/fmin pick the non-NaN operand, so
+        # empty-clip partitions (all-NaN partials) never poison the answer.
+        merged = np.full(n, np.nan, dtype=np.float64)
+        for plan, part in zip(plans, partials):
+            selection = plan.query_indices
+            merged[selection] = self._combine(merged[selection], part)
+        return merged
+
+    def merged_bounds(self, n: int, plans: list[PartitionPlan]) -> np.ndarray:
+        """Per-query certified bound of the merged answers.
+
+        Cumulative partial errors add across the partitions a query
+        straddles; extreme partial errors do not accumulate, so the merged
+        bound is their max.  Queries overlapping no partition with records
+        get bound ``0.0`` (their merged answer is the exact identity).
+        """
+        bounds = np.zeros(n, dtype=np.float64)
+        for plan in plans:
+            bound = self._views[plan.pid].certified_bound
+            selection = plan.query_indices
+            if self._cumulative:
+                bounds[selection] += bound
+            else:
+                bounds[selection] = np.maximum(bounds[selection], bound)
+        return bounds
+
+    # ------------------------------------------------------------------ #
+    # Batch interface (mirrors a single index's)
+    # ------------------------------------------------------------------ #
+
+    def estimate_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Merged approximate answers for N ranges."""
+        lows, highs, plans = self.plan(lows, highs)
+        return self._merge_values(
+            lows.size, plans, self._scatter("estimate_batch", plans)
+        )
+
+    def exact_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Merged exact answers for N ranges (each partial is exact)."""
+        lows, highs, plans = self.plan(lows, highs)
+        return self._merge_values(lows.size, plans, self._scatter("exact_batch", plans))
+
+    def error_bounds_batch(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Per-query certified bounds without answering (planning only)."""
+        lows, highs, plans = self.plan(lows, highs)
+        return self.merged_bounds(lows.size, plans)
+
+    def query_batch(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        guarantee: Guarantee | None = None,
+    ) -> BatchQueryResult:
+        """Answer N queries with certificates over the merged values.
+
+        Guarantee semantics match a single PolyFit index, evaluated against
+        the per-query merged bound: an absolute guarantee is met exactly by
+        the queries whose merged bound fits the budget (no exact fallback —
+        the fleet was built with a looser budget than requested); a relative
+        guarantee certifies per query and answers the failing subset with
+        the merged exact path.
+        """
+        lows, highs, plans = self.plan(lows, highs)
+        n = lows.size
+        approx = self._merge_values(n, plans, self._scatter("estimate_batch", plans))
+        bounds = self.merged_bounds(n, plans)
+        return resolve_batch_certificates(
+            approx,
+            error_bound=bounds,
+            guarantee=guarantee,
+            exact_for_mask=lambda mask: self.exact_batch(lows[mask], highs[mask]),
+            absolute_fallback=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release any sharded-engine pools (idempotent)."""
+        for engine in self._engines:
+            if isinstance(engine, ShardedQueryEngine):
+                engine.close()
+
+    def __enter__(self) -> "FleetRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

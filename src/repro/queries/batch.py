@@ -67,7 +67,7 @@ def validate_bounds_batch(
 def resolve_batch_certificates(
     approx: np.ndarray,
     *,
-    error_bound: float,
+    error_bound: float | np.ndarray,
     guarantee: Guarantee | None,
     exact_for_mask: Callable[[np.ndarray], np.ndarray],
     absolute_fallback: bool,
@@ -80,7 +80,11 @@ def resolve_batch_certificates(
     approx:
         The ``(N,)`` approximate answers.
     error_bound:
-        The certified absolute bound ``c * delta`` of the answering structure.
+        The certified absolute bound ``c * delta`` of the answering
+        structure: a scalar when the bound is a construction-time constant
+        (one index), or an ``(N,)`` array when it varies per query (e.g. a
+        partitioned fleet, where a query's bound is the sum of the certified
+        bounds of the partitions it straddles).
     guarantee:
         The requested guarantee, or ``None`` for best-effort answers.
     exact_for_mask:
@@ -91,6 +95,8 @@ def resolve_batch_certificates(
         structure: ``True`` answers exactly (RMI/FITing-tree semantics),
         ``False`` returns the approximation flagged un-guaranteed (PolyFit
         semantics — the index was built with a looser budget than requested).
+        With per-query bounds the decision is per query: only the queries
+        whose own bound exceeds the budget fall back / lose the flag.
     certified:
         Optional precomputed relative-certificate mask
         (``approx >= error_bound * (1 + 1/eps)``), supplied by fused kernels
@@ -103,24 +109,27 @@ def resolve_batch_certificates(
     """
     approx = np.asarray(approx, dtype=np.float64)
     n = approx.size
-    bounds = np.full(n, error_bound, dtype=np.float64)
+    bounds = np.empty(n, dtype=np.float64)
+    bounds[:] = error_bound  # broadcasts a scalar, copies an (N,) array
     no_fallback = np.zeros(n, dtype=bool)
 
     if guarantee is None:
         return BatchQueryResult(approx, np.ones(n, dtype=bool), no_fallback, bounds)
 
     if guarantee.kind is GuaranteeKind.ABSOLUTE:
-        if error_bound <= guarantee.epsilon + 1e-12:
+        met = bounds <= guarantee.epsilon + 1e-12
+        if met.all():
             return BatchQueryResult(approx, np.ones(n, dtype=bool), no_fallback, bounds)
         if not absolute_fallback:
-            return BatchQueryResult(approx, np.zeros(n, dtype=bool), no_fallback, bounds)
-        everything = np.ones(n, dtype=bool)
-        return BatchQueryResult(
-            exact_for_mask(everything), everything, everything.copy(), np.zeros(n)
-        )
+            return BatchQueryResult(approx, met, no_fallback, bounds)
+        fallback = ~met
+        values = approx.copy()
+        values[fallback] = exact_for_mask(fallback)
+        bounds[fallback] = 0.0
+        return BatchQueryResult(values, np.ones(n, dtype=bool), fallback, bounds)
 
     if certified is None:
-        threshold = error_bound * (1.0 + 1.0 / guarantee.epsilon)
+        threshold = bounds * (1.0 + 1.0 / guarantee.epsilon)
         with np.errstate(invalid="ignore"):
             certified = approx >= threshold
     else:

@@ -167,6 +167,9 @@ class EngineHost:
         num_segments = getattr(index, "num_segments", None)
         if num_segments is not None:
             payload["num_segments"] = int(num_segments)
+        num_partitions = getattr(index, "num_partitions", None)
+        if num_partitions is not None:
+            payload["num_partitions"] = int(num_partitions)
         return payload
 
     # ------------------------------------------------------------------ #

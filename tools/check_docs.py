@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Docs lint: every link resolves, every benchmark artifact is documented.
+
+Checks, over ``README.md`` and everything under ``docs/``:
+
+* **relative links** — every ``[text](path)`` pointing into the repo
+  resolves to an existing file (anchors are stripped; ``http(s):`` and
+  ``mailto:`` links are skipped);
+* **anchors** — a same-file or cross-file ``#fragment`` must match a
+  heading in the target document (GitHub slug rules: lowercase, spaces to
+  dashes, punctuation dropped);
+* **artifact references** — every ``BENCH_*.json`` name mentioned in the
+  docs corresponds to a benchmark that actually emits it (an
+  ``ARTIFACT_PATH`` in ``benchmarks/``), and every emitted artifact is
+  documented somewhere;
+* **code references** — every `` `path/to/file.py` `` span that looks like
+  a repo path exists.
+
+Exit status 0 when clean; 1 with one line per problem otherwise.  Run via
+``make docs-lint`` (CI runs it on every push).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+ARTIFACT_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
+CODE_PATH_RE = re.compile(r"`((?:src|tests|benchmarks|docs|tools|examples)/[^`\s]+)`")
+
+
+def _slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug (enough of it for our docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _headings(path: Path) -> set[str]:
+    return {_slug(m.group(1)) for m in HEADING_RE.finditer(path.read_text())}
+
+
+def check_links(doc: Path, problems: list[str]) -> None:
+    text = doc.read_text()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        if not resolved.exists():
+            problems.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in _headings(resolved):
+                problems.append(
+                    f"{doc.relative_to(REPO)}: dead anchor -> {target}"
+                )
+
+
+def check_code_paths(doc: Path, problems: list[str]) -> None:
+    for match in CODE_PATH_RE.finditer(doc.read_text()):
+        candidate = match.group(1).rstrip("/")
+        if not (REPO / candidate).exists():
+            problems.append(
+                f"{doc.relative_to(REPO)}: referenced path missing -> {candidate}"
+            )
+
+
+def check_artifacts(problems: list[str]) -> None:
+    documented: set[str] = set()
+    for doc in DOC_FILES:
+        documented |= set(ARTIFACT_RE.findall(doc.read_text()))
+    emitted: set[str] = set()
+    for bench in (REPO / "benchmarks").glob("bench_*.py"):
+        emitted |= set(ARTIFACT_RE.findall(bench.read_text()))
+    for name in sorted(documented - emitted):
+        problems.append(f"docs mention {name} but no benchmark emits it")
+    for name in sorted(emitted - documented):
+        problems.append(
+            f"benchmarks emit {name} but no doc (README.md/docs/) mentions it"
+        )
+
+
+def main() -> int:
+    problems: list[str] = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            problems.append(f"missing doc file: {doc.relative_to(REPO)}")
+            continue
+        check_links(doc, problems)
+        check_code_paths(doc, problems)
+    check_artifacts(problems)
+    if problems:
+        print(f"docs lint: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs lint: {len(DOC_FILES)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
