@@ -5,8 +5,10 @@
 #                       when ruff is not installed; CI always installs it)
 #   make smoke-batch  - fast perf gate: batch/scalar equivalence (1-D and
 #                       2-D, including the flat cell-directory property
-#                       tests), sharding/codec round-trips and the
-#                       scaled-down shard-scaling bench (which emits
+#                       tests), sharding/codec round-trips, the durability
+#                       fault tests (WAL crash-point sweep, degraded fleet
+#                       reads, fsck, serve resilience) and the scaled-down
+#                       shard-scaling bench (which emits
 #                       BENCH_shard_scaling.json); run before merging
 #                       changes that touch the query hot path
 #   make bench-batch  - full scalar-vs-batch throughput sweep (1-D methods
@@ -31,6 +33,12 @@
 #                       throughput vs partition count, straddle/bound
 #                       profile, routed inserts), writes
 #                       BENCH_fleet_scaling.json
+#   make bench-durability - full durability protocol (WAL'd vs plain insert
+#                       throughput, recovery time vs log length, degraded
+#                       fleet-read overhead), writes BENCH_durability.json
+#   make fsck-smoke   - the `repro fsck` CLI against a freshly corrupted
+#                       fixture: clean artifacts must exit 0, a bit-flipped
+#                       codec file must exit 1 with a typed report
 #   make docs-lint    - README/docs link + anchor checker, and every
 #                       BENCH_*.json named in the docs must be emitted by a
 #                       benchmark (and vice versa)
@@ -38,7 +46,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: tier1 lint docs-lint smoke-batch bench-batch bench-shards bench-build bench-update bench-serve bench-fleet
+.PHONY: tier1 lint docs-lint smoke-batch fsck-smoke bench-batch bench-shards bench-build bench-update bench-serve bench-fleet bench-durability
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -57,9 +65,14 @@ smoke-batch:
 		tests/test_stream_updatable.py tests/test_stream_2d.py \
 		tests/test_serve_coalescer.py tests/test_serve_http.py \
 		tests/test_fleet.py \
+		tests/test_wal.py tests/test_degrade.py tests/test_fsck.py \
+		tests/test_serve_resilience.py \
 		benchmarks/bench_shard_scaling.py benchmarks/bench_build_time.py \
 		benchmarks/bench_update_throughput.py benchmarks/bench_serve_latency.py \
-		benchmarks/bench_fleet_scaling.py
+		benchmarks/bench_fleet_scaling.py benchmarks/bench_durability.py
+
+fsck-smoke:
+	@$(PYTHON) tools/fsck_smoke.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
@@ -78,6 +91,9 @@ bench-serve:
 
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet_scaling.py
+
+bench-durability:
+	$(PYTHON) benchmarks/bench_durability.py
 
 docs-lint:
 	$(PYTHON) tools/check_docs.py

@@ -1,6 +1,6 @@
 """Command-line interface for building, querying and serving PolyFit indexes.
 
-Provides eight subcommands mirroring a typical deployment workflow:
+Provides nine subcommands mirroring a typical deployment workflow:
 
 ``build``
     Load a (key, measure) CSV, build a PolyFit index for the requested
@@ -37,6 +37,14 @@ Provides eight subcommands mirroring a typical deployment workflow:
 ``query-remote``
     Smoke-test a running server: one scalar query (or ``--stats``) over
     HTTP, printed in the same shape as the local ``query`` command.
+    ``--retries`` adds bounded exponential-backoff retry on 503s and
+    connection errors.
+
+``fsck``
+    Verify durable artifacts offline — codec files (per-array checksums),
+    write-ahead logs (frame CRCs, torn-tail classification), fleet
+    directories (manifest/partition consistency) and JSON indexes.  Exits
+    0 when clean, 1 when any target has integrity problems.
 
 Example
 -------
@@ -51,6 +59,7 @@ Example
     python -m repro.cli serve fleet/ --port 8080
     python -m repro.cli serve --synthetic 100000 --delta 100 --port 8080
     python -m repro.cli query-remote http://127.0.0.1:8080 1000 2000 --eps-abs 200
+    python -m repro.cli fsck fleet/ index.pfbin ingest.wal
 """
 
 from __future__ import annotations
@@ -213,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan batches out over this many shards")
     serve.add_argument("--kernel", choices=["auto", "numba", "numpy"],
                        default="auto", help="batch kernel backend")
+    serve.add_argument("--failure-policy", choices=["fail_fast", "degrade"],
+                       default="fail_fast",
+                       help="fleet partition failures: fail the query or "
+                            "answer with a widened certified bound (206)")
+    serve.add_argument("--verify", action="store_true",
+                       help="verify per-array checksums while loading")
 
     remote = subparsers.add_parser(
         "query-remote", help="smoke-test a running serve instance over HTTP"
@@ -233,6 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the server's /stats payload instead")
     remote.add_argument("--timeout", type=float, default=10.0,
                         help="HTTP timeout in seconds")
+    remote.add_argument("--retries", type=int, default=0,
+                        help="retry 503s and connection errors up to this "
+                             "many times (exponential backoff + jitter)")
+    remote.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request server-side deadline; also caps "
+                             "the client's retry loop")
+
+    fsck = subparsers.add_parser(
+        "fsck", help="verify codec files, WALs, fleet dirs and JSON indexes"
+    )
+    fsck.add_argument("targets", nargs="+",
+                      help="paths to verify: .pfbin files, WAL files, fleet "
+                           "directories or JSON indexes")
+    fsck.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON instead of text")
 
     return parser
 
@@ -433,8 +463,12 @@ def _serve_index(args: argparse.Namespace):
             # The fleet router stays serial here: the host's own num_shards
             # chunk-shards whole batches over the fleet snapshot, which
             # composes with the data-parallel fan-out without nesting pools.
-            return load_fleet(args.index_file)
-        return load_index(args.index_file)
+            return load_fleet(
+                args.index_file,
+                verify=getattr(args, "verify", False),
+                failure_policy=getattr(args, "failure_policy", "fail_fast"),
+            )
+        return load_index(args.index_file, verify=getattr(args, "verify", False))
     if args.synthetic < 4:
         raise QueryError("--synthetic needs at least 4 records")
     if (args.eps_abs is None) == (args.delta is None):
@@ -521,7 +555,10 @@ def _command_query_remote(args: argparse.Namespace) -> int:
     if args.stats:
         import json as _json
 
-        print(_json.dumps(stats_remote(args.url, timeout=args.timeout), indent=2))
+        print(_json.dumps(
+            stats_remote(args.url, timeout=args.timeout, retries=args.retries),
+            indent=2,
+        ))
         return 0
     if args.low is None or args.high is None:
         raise QueryError("provide low and high bounds (or --stats)")
@@ -533,15 +570,40 @@ def _command_query_remote(args: argparse.Namespace) -> int:
     answer = query_remote(
         args.url, args.low, args.high,
         guarantee=guarantee, index=args.index, timeout=args.timeout,
+        retries=args.retries, deadline_ms=args.deadline_ms,
     )
     bound = "n/a" if answer["error_bound"] is None else f"{answer['error_bound']:g}"
+    partial = " [partial: degraded fleet read]" if answer.get("partial") else ""
     print(
         f"[{args.low:g}, {args.high:g}] = {answer['value']:g} "
         f"(guaranteed={answer['guaranteed']}, "
         f"exact_fallback={answer['exact_fallback']}, error_bound={bound}, "
         f"epoch={answer['epoch']}, batch_size={answer['batch_size']})"
+        f"{partial}"
     )
     return 0
+
+
+def _command_fsck(args: argparse.Namespace) -> int:
+    from .fsck import fsck_path
+
+    reports = [fsck_path(target) for target in args.targets]
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([report.to_payload() for report in reports], indent=2))
+    else:
+        for report in reports:
+            status = "ok" if report.ok else "CORRUPT"
+            print(
+                f"{report.target}: {status} "
+                f"({report.artifact}, {report.checked} objects checked)"
+            )
+            for issue in report.issues:
+                print(f"  [{issue.kind}] {issue.path}: {issue.message}")
+            for note in report.notes:
+                print(f"  note: {note}")
+    return 0 if all(report.ok for report in reports) else 1
 
 
 _COMMANDS = {
@@ -553,6 +615,7 @@ _COMMANDS = {
     "fleet-stats": _command_fleet_stats,
     "serve": _command_serve,
     "query-remote": _command_query_remote,
+    "fsck": _command_fsck,
 }
 
 

@@ -78,7 +78,13 @@ class ServerOverloadedError(ReproError):
     """Raised when the serving layer rejects a request under admission control.
 
     The coalescing front-end bounds its pending-request queue; once the bound
-    is hit (or a drain-then-stop shutdown has begun), new requests fail fast
-    with this error instead of building an unbounded backlog.  HTTP clients
-    see it as a 503.
+    is hit (or a drain-then-stop shutdown has begun, or a per-request deadline
+    expired), new requests fail fast with this error instead of building an
+    unbounded backlog.  HTTP clients see it as a 503; ``retry_after_s``
+    (when set) is surfaced as a ``Retry-After`` hint so well-behaved clients
+    back off instead of hammering the server.
     """
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -137,6 +137,7 @@ class IndexFleet:
         policy: FleetPolicy | None = None,
         num_shards: int = 1,
         executor: str = "serial",
+        failure_policy: str = "fail_fast",
     ) -> None:
         if len(partitions) != partition_map.num_partitions:
             raise DataError(
@@ -151,6 +152,12 @@ class IndexFleet:
         self._policy = policy or FleetPolicy()
         self._num_shards = int(num_shards)
         self._executor = executor
+        if failure_policy not in ("fail_fast", "degrade"):
+            raise DataError(
+                f"failure_policy must be 'fail_fast' or 'degrade', "
+                f"got {failure_policy!r}"
+            )
+        self._failure_policy = failure_policy
         self._epoch = 0
         self._version = 0
         # Current snapshot plus one retired generation, so a reader pinned
@@ -176,6 +183,7 @@ class IndexFleet:
         num_partitions: int = 4,
         num_shards: int = 1,
         executor: str = "serial",
+        failure_policy: str = "fail_fast",
     ) -> "IndexFleet":
         """Build a fleet from raw records.
 
@@ -251,6 +259,7 @@ class IndexFleet:
             policy=policy,
             num_shards=num_shards,
             executor=executor,
+            failure_policy=failure_policy,
         )
 
     # ------------------------------------------------------------------ #
@@ -276,6 +285,11 @@ class IndexFleet:
     def policy(self) -> FleetPolicy:
         """The split/merge/compaction policy."""
         return self._policy
+
+    @property
+    def failure_policy(self) -> str:
+        """Partition failure policy routers are built with (see FleetRouter)."""
+        return self._failure_policy
 
     @property
     def partition_map(self) -> PartitionMap:
@@ -377,6 +391,7 @@ class IndexFleet:
             self._aggregate,
             num_shards=self._num_shards,
             executor=self._executor,
+            failure_policy=self._failure_policy,
         )
         snapshot = FleetSnapshot(router, epoch=self._epoch, version=self._version)
         self._snapshots.append(snapshot)

@@ -30,6 +30,7 @@ from typing import Any
 
 from ..config import Aggregate
 from ..errors import SerializationError
+from ..index.atomic import atomic_write, prune_tmp_files
 from ..index.codec import load_index_binary, save_index_binary
 from ..stream.updatable import UpdatablePolyFitIndex
 from .fleet import IndexFleet
@@ -94,10 +95,12 @@ def save_fleet(fleet: IndexFleet, directory: str | Path) -> Path:
         if stale.name not in {entry["file"] for entry in entries}:
             stale.unlink()
     manifest_path = directory / MANIFEST_NAME
-    try:
-        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
-    except OSError as exc:
-        raise SerializationError(f"cannot write fleet manifest {manifest_path}: {exc}") from exc
+    payload = (json.dumps(manifest, indent=2) + "\n").encode("utf-8")
+    # Atomic: the manifest is the commit point of the whole save.  Partition
+    # files land first (each atomically), then the manifest flips the
+    # directory from the old fleet to the new one in one rename — a crash
+    # mid-save leaves a directory that loads as the previous fleet.
+    atomic_write(manifest_path, lambda handle: handle.write(payload))
     return manifest_path
 
 
@@ -113,6 +116,8 @@ def load_fleet(
     mmap: bool = True,
     num_shards: int = 1,
     executor: str = "serial",
+    verify: bool = False,
+    failure_policy: str = "fail_fast",
 ) -> IndexFleet:
     """Load a fleet saved by :func:`save_fleet`.
 
@@ -120,8 +125,15 @@ def load_fleet(
     default, so concurrent loaders share pages); routing, policy and the
     epoch/version counters come from the manifest.  Raises
     :class:`~repro.errors.SerializationError` on any structural problem.
+
+    Recovery: stale ``*.tmp`` files from a crashed save are pruned first —
+    the manifest is the save's commit point, so whatever it references is
+    complete and the tmp leftovers are garbage.  ``verify=True`` checks
+    every partition file's per-array checksums (codec format v3) while
+    loading.
     """
     directory = Path(directory)
+    prune_tmp_files(directory)
     manifest_path = directory / MANIFEST_NAME
     try:
         manifest = json.loads(manifest_path.read_text())
@@ -162,7 +174,13 @@ def load_fleet(
                 )
             )
             continue
-        index = load_index_binary(directory / file_name, mmap=mmap)
+        partition_path = directory / file_name
+        if not partition_path.is_file():
+            raise SerializationError(
+                f"fleet manifest {manifest_path} references missing "
+                f"partition file {file_name}"
+            )
+        index = load_index_binary(partition_path, mmap=mmap, verify=verify)
         if not isinstance(index, UpdatablePolyFitIndex):
             raise SerializationError(
                 f"fleet partition file {file_name} holds a "
@@ -184,6 +202,7 @@ def load_fleet(
         policy=policy,
         num_shards=num_shards,
         executor=executor,
+        failure_policy=failure_policy,
     )
     fleet._epoch = int(manifest.get("epoch", 0))  # noqa: SLF001 - persistence is a friend module
     fleet._version = int(manifest.get("version", 0))  # noqa: SLF001

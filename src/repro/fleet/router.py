@@ -34,6 +34,20 @@ data-parallel fan-out.
 A router is a frozen plan over frozen views: build it from a consistent
 set of partition snapshots and it keeps answering that epoch while the
 live fleet compacts or rebalances.
+
+**Failure policy.**  ``failure_policy="fail_fast"`` (the default) propagates
+a partition's exception out of the batch — nobody gets a partial answer by
+accident.  ``"degrade"`` keeps :meth:`FleetRouter.query_batch` answering
+when a partition's scatter call raises: the failed partition's clip
+contributes nothing to the merged value, and its worst-case contribution —
+captured per partition at router construction (total mass for COUNT/SUM,
+global extreme for MAX/MIN) — is folded into the per-query certified bound
+instead.  The answer stays *certified*, just looser; affected queries are
+flagged ``degraded`` and the failed partition ids are surfaced on the
+result.  The plain ``estimate_batch``/``exact_batch`` methods stay
+fail-fast even under ``degrade``: they return bare value arrays with no
+bound column to widen, so a partial answer there would be a silent wrong
+answer — exactly what the durability layer exists to rule out.
 """
 
 from __future__ import annotations
@@ -42,7 +56,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import Aggregate
+from ..config import Aggregate, GuaranteeKind
 from ..errors import DataError
 from ..queries.batch import resolve_batch_certificates, validate_bounds_batch
 from ..queries.sharding import DEFAULT_MIN_QUERIES_PER_SHARD, ShardedQueryEngine
@@ -83,6 +97,10 @@ class FleetRouter:
         :class:`~repro.queries.sharding.ShardedQueryEngine` with these
         settings (empty views answer O(1) identities and are never
         wrapped).
+    failure_policy:
+        ``"fail_fast"`` propagates partition exceptions; ``"degrade"``
+        answers :meth:`query_batch` around failed partitions with widened
+        certified bounds (see the module docstring).
     """
 
     def __init__(
@@ -94,17 +112,23 @@ class FleetRouter:
         num_shards: int = 1,
         executor: str = "serial",
         min_queries_per_shard: int = DEFAULT_MIN_QUERIES_PER_SHARD,
+        failure_policy: str = "fail_fast",
     ) -> None:
         if len(views) != partition_map.num_partitions:
             raise DataError(
                 f"partition map expects {partition_map.num_partitions} views, "
                 f"got {len(views)}"
             )
+        if failure_policy not in ("fail_fast", "degrade"):
+            raise DataError(
+                f"failure_policy must be 'fail_fast' or 'degrade', got {failure_policy!r}"
+            )
         self._map = partition_map
         self._views = list(views)
         self._aggregate = aggregate
         self._cumulative = aggregate.is_cumulative
         self._combine = np.fmax if aggregate is Aggregate.MAX else np.fmin
+        self._failure_policy = failure_policy
         self._sharded = num_shards > 1 or executor != "serial"
         self._engines: list = []
         for view in self._views:
@@ -119,10 +143,47 @@ class FleetRouter:
                 )
             else:
                 self._engines.append(view)
+        # Per-partition worst-case contributions, captured while the views
+        # are healthy: the degrade path widens certified bounds with these
+        # when a partition fails mid-query.  ``None`` = unknown (capture
+        # itself failed) — affected queries get an infinite bound.
+        self._reserves: list[float | None] = (
+            [self._capture_reserve(view) for view in self._views]
+            if failure_policy == "degrade"
+            else []
+        )
+
+    def _capture_reserve(self, view) -> float | None:
+        """Worst-case contribution of one partition to any query.
+
+        Cumulative aggregates: the partition's total mass ``M`` — a failed
+        clip contributes somewhere in ``[0, M]`` (COUNT/SUM measures are
+        non-negative), so adding ``M`` to the merged bound covers it.
+        Extremes: the partition's global extreme ``E`` — the failed clip's
+        extreme cannot exceed ``E`` (MAX) / fall below it (MIN), so the
+        merged answer is off by at most ``max(0, E - merged)`` (MAX).
+        NaN (an empty extreme partition) means no contribution at all.
+        """
+        try:
+            total = float(
+                view.exact_batch(
+                    np.array([-np.inf]), np.array([np.inf])
+                )[0]
+            )
+        except Exception:
+            return None
+        if self._cumulative and not np.isfinite(total):
+            return None
+        return total
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+
+    @property
+    def failure_policy(self) -> str:
+        """``"fail_fast"`` or ``"degrade"``."""
+        return self._failure_policy
 
     @property
     def partition_map(self) -> PartitionMap:
@@ -177,6 +238,94 @@ class FleetRouter:
             getattr(self._engines[plan.pid], method)(plan.lows, plan.highs)
             for plan in plans
         ]
+
+    def _scatter_capture(
+        self, method: str, plans: list[PartitionPlan]
+    ) -> tuple[list, set[int]]:
+        """Degrade-mode scatter: a failing partition yields ``None`` partials.
+
+        Only ``Exception`` is captured — ``BaseException`` (KeyboardInterrupt,
+        an injected crash point) still propagates; the degrade policy covers
+        partition faults, not process death.
+        """
+        partials: list = []
+        failed: set[int] = set()
+        for plan in plans:
+            try:
+                partials.append(
+                    getattr(self._engines[plan.pid], method)(plan.lows, plan.highs)
+                )
+            except Exception:
+                failed.add(plan.pid)
+                partials.append(None)
+        return partials, failed
+
+    def _widen_for_failures(
+        self,
+        n: int,
+        plans: list[PartitionPlan],
+        failed: set[int],
+        merged: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query bound widening covering the failed partitions' clips.
+
+        Returns ``(widen, degraded)``: the additional absolute slack per
+        query (to *add* for cumulative aggregates, to *max* into the bound
+        for extremes) and the mask of queries touching a failed partition.
+        The widening is conservative by construction — see
+        :meth:`_capture_reserve` for the containment argument.
+        """
+        widen = np.zeros(n, dtype=np.float64)
+        degraded = np.zeros(n, dtype=bool)
+        for plan in plans:
+            if plan.pid not in failed:
+                continue
+            selection = plan.query_indices
+            degraded[selection] = True
+            reserve = self._reserves[plan.pid]
+            if reserve is None:
+                widen[selection] = np.inf
+                continue
+            if self._cumulative:
+                widen[selection] += reserve
+                continue
+            if np.isnan(reserve):
+                continue  # provably empty partition: nothing was missed
+            merged_part = merged[selection]
+            if self._aggregate is Aggregate.MAX:
+                gap = reserve - merged_part
+            else:
+                gap = merged_part - reserve
+            # A NaN merged value (every healthy partition empty over the
+            # clip) cannot bound the failed partition's contribution at all.
+            gap = np.where(np.isnan(merged_part), np.inf, gap)
+            widen[selection] = np.maximum(widen[selection], np.maximum(gap, 0.0))
+        return widen, degraded
+
+    def _combine_widening(self, bounds: np.ndarray, widen: np.ndarray) -> np.ndarray:
+        if self._cumulative:
+            return bounds + widen
+        return np.maximum(bounds, widen)
+
+    def _degraded_exact(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, set[int]]:
+        """Exact-as-possible answers for the degrade path's fallback.
+
+        Healthy partitions answer exactly (bound 0); failed partitions
+        contribute only widening.  Returns values, per-query bounds,
+        the degraded mask, and the failed pid set.
+        """
+        lows, highs, plans = self.plan(lows, highs)
+        n = lows.size
+        partials, failed = self._scatter_capture("exact_batch", plans)
+        alive = [
+            (plan, part) for plan, part in zip(plans, partials) if part is not None
+        ]
+        values = self._merge_values(n, [p for p, _ in alive], [v for _, v in alive])
+        widen, degraded = self._widen_for_failures(n, plans, failed, values)
+        bounds = self._combine_widening(np.zeros(n, dtype=np.float64), widen)
+        return values, bounds, degraded, failed
 
     def _merge_values(
         self, n: int, plans: list[PartitionPlan], partials: list[np.ndarray]
@@ -247,10 +396,25 @@ class FleetRouter:
         the fleet was built with a looser budget than requested); a relative
         guarantee certifies per query and answers the failing subset with
         the merged exact path.
+
+        Under ``failure_policy="degrade"`` a failing partition no longer
+        aborts the batch: its contribution is dropped from the merged value
+        and its captured worst-case contribution widens the affected
+        queries' certified bounds, so every certificate the result *does*
+        claim still holds.  Affected queries carry ``degraded=True`` and
+        the result lists the failed partition ids.
         """
         lows, highs, plans = self.plan(lows, highs)
         n = lows.size
-        approx = self._merge_values(n, plans, self._scatter("estimate_batch", plans))
+        if self._failure_policy == "degrade":
+            partials, failed = self._scatter_capture("estimate_batch", plans)
+            if failed:
+                return self._query_batch_degraded(
+                    lows, highs, plans, partials, failed, guarantee
+                )
+            approx = self._merge_values(n, plans, partials)
+        else:
+            approx = self._merge_values(n, plans, self._scatter("estimate_batch", plans))
         bounds = self.merged_bounds(n, plans)
         return resolve_batch_certificates(
             approx,
@@ -258,6 +422,72 @@ class FleetRouter:
             guarantee=guarantee,
             exact_for_mask=lambda mask: self.exact_batch(lows[mask], highs[mask]),
             absolute_fallback=False,
+        )
+
+    def _query_batch_degraded(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        plans: list[PartitionPlan],
+        partials: list,
+        failed: set[int],
+        guarantee: Guarantee | None,
+    ) -> BatchQueryResult:
+        """Certificate resolution when at least one partition failed.
+
+        Mirrors :func:`~repro.queries.batch.resolve_batch_certificates`
+        (absolute: no fallback; relative: exact fallback for the uncertified
+        subset) with one difference: a fallback touching a failed partition
+        cannot reach the true exact answer, so its bound stays at the
+        widening instead of dropping to 0 and its certificate is re-checked
+        against that residual bound — never claimed for free.
+        """
+        n = lows.size
+        alive = [
+            (plan, part) for plan, part in zip(plans, partials) if part is not None
+        ]
+        approx = self._merge_values(n, [p for p, _ in alive], [v for _, v in alive])
+        base_bounds = self.merged_bounds(n, [p for p, _ in alive])
+        widen, degraded = self._widen_for_failures(n, plans, failed, approx)
+        bounds = self._combine_widening(base_bounds, widen)
+        failed_pids = set(failed)
+        fallback = np.zeros(n, dtype=bool)
+        values = approx
+        if guarantee is None:
+            guaranteed = np.ones(n, dtype=bool)
+        elif guarantee.kind is GuaranteeKind.ABSOLUTE:
+            guaranteed = bounds <= guarantee.epsilon + 1e-12
+        else:
+            with np.errstate(invalid="ignore"):
+                certified = approx >= bounds * (1.0 + 1.0 / guarantee.epsilon)
+            fallback = ~certified
+            guaranteed = np.ones(n, dtype=bool)
+            if np.any(fallback):
+                values = approx.copy()
+                bounds = bounds.copy()
+                sub_values, sub_bounds, sub_degraded, sub_failed = self._degraded_exact(
+                    lows[fallback], highs[fallback]
+                )
+                values[fallback] = sub_values
+                bounds[fallback] = sub_bounds
+                degraded = degraded.copy()
+                degraded[fallback] |= sub_degraded
+                failed_pids |= sub_failed
+                # Exact over the healthy partitions, residual bound from the
+                # failed ones: guaranteed iff nothing is missing (bound 0) or
+                # the Lemma-3 certificate holds against the residual bound.
+                with np.errstate(invalid="ignore"):
+                    sub_ok = (sub_bounds == 0.0) | (
+                        sub_values >= sub_bounds * (1.0 + 1.0 / guarantee.epsilon)
+                    )
+                guaranteed[fallback] = sub_ok
+        return BatchQueryResult(
+            values,
+            guaranteed,
+            fallback,
+            bounds,
+            degraded=degraded,
+            failed_partitions=tuple(sorted(failed_pids)),
         )
 
     # ------------------------------------------------------------------ #

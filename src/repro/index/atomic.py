@@ -1,0 +1,115 @@
+"""Crash-safe file replacement: write to a tmp name, fsync, ``os.replace``.
+
+Every durable artifact the system writes — codec files, fleet manifests,
+checkpoints — goes through :func:`atomic_write`, so a crash at *any* byte
+offset of the write leaves either the complete previous version or the
+complete new version on disk, never a torn hybrid:
+
+1. the payload is streamed into ``<name>.tmp`` in the same directory;
+2. the tmp file is flushed and fsync'd (the data is durable before it can
+   become visible);
+3. ``os.replace`` swaps it in — atomic on POSIX and Windows;
+4. the directory entry is fsync'd best-effort so the rename itself survives
+   a power cut (some filesystems journal it anyway; a directory that cannot
+   be opened, e.g. on Windows, is skipped).
+
+A crash before step 3 leaves a stale ``*.tmp`` beside the intact previous
+file; :func:`prune_tmp_files` removes them on the next load.  The
+``opener`` hook exists for fault injection: tests substitute a
+:class:`~repro.testing.faults.FaultyFile` that dies at an exact byte offset
+and then assert the previous version still loads.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from ..errors import SerializationError
+
+__all__ = ["TMP_SUFFIX", "atomic_write", "prune_tmp_files"]
+
+#: Suffix of in-flight temporary files (``<final-name>.tmp``).
+TMP_SUFFIX = ".tmp"
+
+
+def _default_opener(path: Path):
+    return open(path, "wb")
+
+
+def _sync(handle) -> None:
+    """Durability barrier: prefer the handle's own ``sync`` (fault hooks),
+    fall back to ``flush`` + ``os.fsync``."""
+    sync = getattr(handle, "sync", None)
+    if sync is not None:
+        sync()
+        return
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _sync_directory(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on a dir fd may be refused
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: str | Path,
+    writer: Callable[[object], None],
+    *,
+    opener: Callable[[Path], object] | None = None,
+) -> None:
+    """Write ``path`` atomically: ``writer(handle)`` streams the payload.
+
+    ``writer`` receives a binary file handle positioned at offset 0 of the
+    temporary file; when it returns, the payload is fsync'd and renamed over
+    ``path``.  Raises :class:`~repro.errors.SerializationError` on OS-level
+    failure.  A crash inside ``writer`` (including an injected
+    :class:`~repro.testing.faults.CrashPoint`) leaves only the tmp file
+    behind — the previous version of ``path`` is untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + TMP_SUFFIX)
+    opener = opener or _default_opener
+    try:
+        handle = opener(tmp)
+        try:
+            writer(handle)
+            _sync(handle)
+        finally:
+            handle.close()
+        os.replace(tmp, path)
+        _sync_directory(path.parent)
+    except OSError as exc:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise SerializationError(f"cannot write {path} atomically: {exc}") from exc
+
+
+def prune_tmp_files(directory: str | Path) -> list[Path]:
+    """Remove stale ``*.tmp`` files a crash left behind; returns the victims.
+
+    Safe to call on every load: an in-flight :func:`atomic_write` from
+    another process could in principle race, but the system's writers are
+    single-process per artifact (documented in ``docs/ARCHITECTURE.md``);
+    after a real crash the tmp file is garbage by definition.
+    """
+    removed: list[Path] = []
+    for stale in sorted(Path(directory).glob(f"*{TMP_SUFFIX}")):
+        try:
+            stale.unlink()
+            removed.append(stale)
+        except OSError:  # pragma: no cover - raced or permission-denied
+            continue
+    return removed

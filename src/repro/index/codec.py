@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -44,6 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - the import would be circular at runtime
 from ..config import Aggregate, QuadTreeConfig
 from ..errors import SerializationError
 from ..fitting.polynomial import Polynomial1D, SurfaceBank
+from .atomic import atomic_write
 from ..fitting.segmentation import Segment
 from ..functions.cumulative2d import Cumulative2D
 from .directory import QuadDirectory
@@ -67,10 +69,13 @@ BINARY_MAGIC = b"PFITBIN\x01"
 _ALIGNMENT = 64
 
 #: v2 adds the optional 2-D point-extreme payload (``ext_*`` arrays plus the
-#: ``extreme_aggregate`` meta key).  v1 files remain loadable: the addition is
-#: purely additive, so the reader accepts both versions.
-_BINARY_FORMAT_VERSION = 2
-_SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2})
+#: ``extreme_aggregate`` meta key).  v3 adds a ``crc32`` field per array-table
+#: entry (verified behind the ``verify=`` knob), the ``updatable2d`` kind and
+#: the optional ``wal_counts`` checkpoint metadata.  Every addition is purely
+#: additive, so the reader accepts all three versions; v1/v2 entries simply
+#: carry no checksum to verify.
+_BINARY_FORMAT_VERSION = 3
+_SUPPORTED_FORMAT_VERSIONS = frozenset({1, 2, 3})
 
 
 def _aligned(offset: int) -> int:
@@ -82,12 +87,25 @@ def _aligned(offset: int) -> int:
 # --------------------------------------------------------------------- #
 
 
-def write_array_store(path: str | Path, arrays: dict[str, np.ndarray], meta: dict) -> None:
+def write_array_store(
+    path: str | Path,
+    arrays: dict[str, np.ndarray],
+    meta: dict,
+    *,
+    opener=None,
+) -> None:
     """Write named arrays plus JSON metadata as one mappable binary file.
 
     Arrays are stored C-contiguous at 64-byte-aligned offsets; ``meta`` must
     be JSON-serializable.  The layout is fully described by the embedded
-    header, so readers need no out-of-band schema.
+    header, so readers need no out-of-band schema.  Each table entry carries
+    the CRC-32 of its blob (format v3), checked on load behind the
+    ``verify=`` knob of :func:`read_array_store`.
+
+    The file lands via :func:`~repro.index.atomic.atomic_write` (tmp +
+    fsync + ``os.replace``): a crash at any point of the write leaves the
+    previous version of ``path`` intact, plus at most a stale ``.tmp`` file.
+    ``opener`` is the atomic writer's fault-injection hook.
     """
     contiguous: dict[str, np.ndarray] = {}
     table: dict[str, dict] = {}
@@ -100,30 +118,30 @@ def write_array_store(path: str | Path, arrays: dict[str, np.ndarray], meta: dic
             "offset": offset,
             "shape": list(array.shape),
             "dtype": array.dtype.str,
+            "crc32": zlib.crc32(array.data),
         }
         offset += array.nbytes
     header = json.dumps({"meta": meta, "arrays": table}).encode("utf-8")
     data_start = _aligned(len(BINARY_MAGIC) + 8 + len(header))
-    path = Path(path)
-    try:
-        with open(path, "wb") as handle:
-            handle.write(BINARY_MAGIC)
-            handle.write(struct.pack("<Q", len(header)))
-            handle.write(header)
-            position = len(BINARY_MAGIC) + 8 + len(header)
-            for name, array in contiguous.items():
-                target = data_start + table[name]["offset"]
-                handle.write(b"\x00" * (target - position))
-                # The arrays are C-contiguous; writing the buffer directly
-                # streams the bytes without materializing a tobytes() copy.
-                handle.write(array.data)
-                position = target + array.nbytes
-    except OSError as exc:
-        raise SerializationError(f"cannot write binary index to {path}: {exc}") from exc
+
+    def _stream(handle) -> None:
+        handle.write(BINARY_MAGIC)
+        handle.write(struct.pack("<Q", len(header)))
+        handle.write(header)
+        position = len(BINARY_MAGIC) + 8 + len(header)
+        for name, array in contiguous.items():
+            target = data_start + table[name]["offset"]
+            handle.write(b"\x00" * (target - position))
+            # The arrays are C-contiguous; writing the buffer directly
+            # streams the bytes without materializing a tobytes() copy.
+            handle.write(array.data)
+            position = target + array.nbytes
+
+    atomic_write(Path(path), _stream, opener=opener)
 
 
 def read_array_store(
-    path: str | Path, *, mmap: bool = True
+    path: str | Path, *, mmap: bool = True, verify: bool = False
 ) -> tuple[dict, dict[str, np.ndarray]]:
     """Read a :func:`write_array_store` file back as ``(meta, arrays)``.
 
@@ -131,6 +149,12 @@ def read_array_store(
     is a zero-copy view into the mapping (shared across processes through
     the page cache); with ``mmap=False`` the bytes are read eagerly once and
     the arrays are read-only views into that private buffer.
+
+    ``verify=True`` recomputes each blob's CRC-32 against the table entry
+    (format v3; v1/v2 entries carry no checksum and are skipped) and raises
+    :class:`~repro.errors.SerializationError` on a mismatch.  With mmap the
+    check faults every page in once — the price of catching bit rot before
+    it reaches an answer; the default stays lazy.
     """
     path = Path(path)
     try:
@@ -165,9 +189,19 @@ def read_array_store(
             start = data_start + int(entry["offset"])
             if start + count * dtype.itemsize > total:
                 raise SerializationError(f"truncated array {name!r} in {path}")
-            arrays[name] = np.frombuffer(
+            array = np.frombuffer(
                 buffer, dtype=dtype, count=count, offset=start
             ).reshape(shape)
+            if verify and "crc32" in entry:
+                actual = zlib.crc32(
+                    np.ascontiguousarray(array).view(np.uint8).reshape(-1).data
+                )
+                if actual != int(entry["crc32"]) & 0xFFFFFFFF:
+                    raise SerializationError(
+                        f"checksum mismatch for array {name!r} in {path}: "
+                        f"stored {int(entry['crc32']):#010x}, computed {actual:#010x}"
+                    )
+            arrays[name] = array
     except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(f"malformed array table in {path}: {exc}") from exc
     return meta, arrays
@@ -379,6 +413,20 @@ def _index2d_from_store(meta: dict, arrays: dict[str, np.ndarray]) -> PolyFit2DI
 # --------------------------------------------------------------------- #
 
 
+def _wal_counts_meta(index) -> dict | None:
+    """Checkpoint position: how much of the attached WAL this file subsumes.
+
+    Recorded at save time so :meth:`recover` can skip exactly the insert and
+    compaction records the checkpoint already contains — the file and its
+    counts land atomically together, which makes checkpoint-then-crash
+    recoverable no matter where the crash falls.
+    """
+    wal = getattr(index, "_wal", None)
+    if wal is None:
+        return None
+    return {"inserts": wal.insert_records, "compactions": wal.compaction_records}
+
+
 def _updatable1d_to_store(index) -> tuple[dict, dict[str, np.ndarray]]:
     """Base index arrays plus the sorted delta log of the current epoch.
 
@@ -398,6 +446,9 @@ def _updatable1d_to_store(index) -> tuple[dict, dict[str, np.ndarray]]:
         "policy": index.policy.to_payload(),
         "base": base_meta,
     }
+    wal_counts = _wal_counts_meta(index)
+    if wal_counts is not None:
+        meta["wal_counts"] = wal_counts
     return meta, arrays
 
 
@@ -406,13 +457,66 @@ def _updatable1d_from_store(meta: dict, arrays: dict[str, np.ndarray]):
     from ..stream.updatable import UpdatablePolyFitIndex
 
     base = _index1d_from_store(meta["base"], arrays)
-    return UpdatablePolyFitIndex._restore(  # noqa: SLF001 - codec is a friend module
+    index = UpdatablePolyFitIndex._restore(  # noqa: SLF001 - codec is a friend module
         base,
         CompactionPolicy.from_payload(meta["policy"]),
         arrays["delta_keys"],
         arrays["delta_measures"],
         epoch=int(meta["epoch"]),
     )
+    index._restored_wal_counts = meta.get("wal_counts")  # noqa: SLF001
+    return index
+
+
+# --------------------------------------------------------------------- #
+# Updatable two-key index (base payload + buffered points)
+# --------------------------------------------------------------------- #
+
+
+def _updatable2d_to_store(index) -> tuple[dict, dict[str, np.ndarray]]:
+    """Base 2-D payload plus the buffered points, in arrival order.
+
+    Arrival order (not the sorted snapshot) so a restored index's compaction
+    concatenates the chunks exactly as the live one would — replay and
+    checkpoint recovery stay bit-identical.
+    """
+    from ..config import Aggregate as _Aggregate
+
+    base_meta, arrays = _index2d_to_store(index.base)
+    arrays = dict(arrays)
+    xs, ys, ws = index._buffer_arrays()  # noqa: SLF001 - codec is a friend module
+    arrays["delta_xs"] = xs
+    arrays["delta_ys"] = ys
+    if index.aggregate is _Aggregate.SUM:
+        arrays["delta_ws"] = ws
+    meta = {
+        "format_version": _BINARY_FORMAT_VERSION,
+        "kind": "updatable2d",
+        "epoch": index.epoch,
+        "policy": index.policy.to_payload(),
+        "base": base_meta,
+    }
+    wal_counts = _wal_counts_meta(index)
+    if wal_counts is not None:
+        meta["wal_counts"] = wal_counts
+    return meta, arrays
+
+
+def _updatable2d_from_store(meta: dict, arrays: dict[str, np.ndarray]):
+    from ..stream.policy import CompactionPolicy
+    from ..stream.updatable2d import UpdatablePolyFit2DIndex
+
+    base = _index2d_from_store(meta["base"], arrays)
+    index = UpdatablePolyFit2DIndex._restore(  # noqa: SLF001 - codec is a friend module
+        base,
+        CompactionPolicy.from_payload(meta["policy"]),
+        arrays["delta_xs"],
+        arrays["delta_ys"],
+        arrays.get("delta_ws"),
+        epoch=int(meta["epoch"]),
+    )
+    index._restored_wal_counts = meta.get("wal_counts")  # noqa: SLF001
+    return index
 
 
 # --------------------------------------------------------------------- #
@@ -423,23 +527,28 @@ def _updatable1d_from_store(meta: dict, arrays: dict[str, np.ndarray]):
 def save_index_binary(
     index: "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex",
     path: str | Path,
+    *,
+    opener=None,
 ) -> None:
-    """Serialize a built index to the zero-copy binary format."""
+    """Serialize a built index to the zero-copy binary format (atomically)."""
     from ..stream.updatable import UpdatablePolyFitIndex
+    from ..stream.updatable2d import UpdatablePolyFit2DIndex
 
     if isinstance(index, UpdatablePolyFitIndex):
         meta, arrays = _updatable1d_to_store(index)
+    elif isinstance(index, UpdatablePolyFit2DIndex):
+        meta, arrays = _updatable2d_to_store(index)
     elif isinstance(index, PolyFit2DIndex):
         meta, arrays = _index2d_to_store(index)
     elif isinstance(index, PolyFitIndex):
         meta, arrays = _index1d_to_store(index)
     else:
         raise SerializationError(f"cannot binary-serialize {type(index)!r}")
-    write_array_store(path, arrays, meta)
+    write_array_store(path, arrays, meta, opener=opener)
 
 
 def load_index_binary(
-    path: str | Path, *, mmap: bool = True
+    path: str | Path, *, mmap: bool = True, verify: bool = False
 ) -> "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex":
     """Load an index written by :func:`save_index_binary`.
 
@@ -447,8 +556,10 @@ def load_index_binary(
     function, point set, CF grid and the flat directory — are read-only
     views into the OS page cache, so concurrent loads of the same file
     (e.g. process-pool shard workers) share physical memory.
+    ``verify=True`` checks every blob's CRC-32 first (see
+    :func:`read_array_store`).
     """
-    meta, arrays = read_array_store(path, mmap=mmap)
+    meta, arrays = read_array_store(path, mmap=mmap, verify=verify)
     try:
         kind = meta["kind"]
         version = meta["format_version"]
@@ -460,6 +571,8 @@ def load_index_binary(
             return _index2d_from_store(meta, arrays)
         if kind == "updatable1d":
             return _updatable1d_from_store(meta, arrays)
+        if kind == "updatable2d":
+            return _updatable2d_from_store(meta, arrays)
     except (KeyError, ValueError, TypeError) as exc:
         raise SerializationError(f"malformed binary index payload: {exc}") from exc
     raise SerializationError(f"unknown binary index kind {kind!r}")

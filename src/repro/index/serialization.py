@@ -428,14 +428,16 @@ def save_index(
 
 
 def load_index(
-    path: str | Path, *, mmap: bool = True
+    path: str | Path, *, mmap: bool = True, verify: bool = False
 ) -> "PolyFitIndex | PolyFit2DIndex | UpdatablePolyFitIndex":
     """Load an index previously written by :func:`save_index`.
 
     The codec is sniffed from the file content (the binary format starts
     with a fixed magic string), so callers never need to remember how an
     index was saved.  ``mmap`` controls whether a binary file is mapped
-    zero-copy (the default) or read eagerly; it is ignored for JSON.
+    zero-copy (the default) or read eagerly; ``verify`` checks the binary
+    codec's per-array checksums while loading.  Both are ignored for JSON
+    (which is self-validating during decode).
     """
     path = Path(path)
     from .codec import BINARY_MAGIC, load_index_binary
@@ -446,7 +448,7 @@ def load_index(
     except OSError as exc:
         raise SerializationError(f"cannot read index from {path}: {exc}") from exc
     if head == BINARY_MAGIC:
-        return load_index_binary(path, mmap=mmap)
+        return load_index_binary(path, mmap=mmap, verify=verify)
     try:
         payload = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:

@@ -142,12 +142,22 @@ class BatchQueryResult:
     error_bounds:
         ``(N,)`` certified absolute error bound per answer (0 for exact
         fallbacks).
+    degraded:
+        ``(N,)`` bool — queries whose answer was computed without one or
+        more failed fleet partitions (their bound is widened to cover the
+        missing contribution; the certificate stays sound, just looser).
+        All-False outside degraded fleet reads.
+    failed_partitions:
+        Sorted partition ids that failed during a degraded read (empty
+        otherwise).
     """
 
     values: np.ndarray
     guaranteed: np.ndarray
     exact_fallback: np.ndarray
     error_bounds: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    degraded: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    failed_partitions: tuple = ()
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=np.float64)
@@ -158,16 +168,27 @@ class BatchQueryResult:
         if bounds is None:
             bounds = np.full(values.shape, np.nan)
         object.__setattr__(self, "error_bounds", np.asarray(bounds, dtype=np.float64))
+        degraded = self.degraded
+        if degraded is None:
+            degraded = np.zeros(values.shape, dtype=bool)
+        object.__setattr__(self, "degraded", np.asarray(degraded, dtype=bool))
+        object.__setattr__(self, "failed_partitions", tuple(self.failed_partitions))
         if not (
             self.guaranteed.shape
             == self.exact_fallback.shape
             == self.error_bounds.shape
+            == self.degraded.shape
             == values.shape
         ):
             raise QueryError("batch result arrays must have identical shapes")
 
     def __len__(self) -> int:
         return int(self.values.size)
+
+    @property
+    def partial(self) -> bool:
+        """Whether any answer was computed without a failed partition."""
+        return bool(self.degraded.any())
 
     @property
     def fallback_rate(self) -> float:

@@ -6,11 +6,23 @@ helper returns the decoded JSON payload; non-2xx responses raise
 :class:`~repro.errors.QueryError` (or
 :class:`~repro.errors.ServerOverloadedError` for 503) carrying the server's
 error message.
+
+**Retries.**  ``retries=`` enables bounded retry with exponential backoff
+and full jitter, but only for failures where retrying can help: a 503
+(admission control — the server explicitly asked us to come back later) or
+a connection-level error (server not yet listening, connection refused).
+Application errors (400/404, malformed responses) never retry — the request
+would fail identically every time.  When the server sends a
+``retry_after_s`` hint it overrides the computed backoff, and an overall
+``deadline_s`` caps the total time spent including sleeps, so a retrying
+client still observes its caller's budget.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 
@@ -20,13 +32,11 @@ from ..queries.types import Guarantee
 __all__ = ["request_json", "query_remote", "query_batch_remote", "stats_remote", "health_remote"]
 
 
-def request_json(
-    base_url: str,
-    path: str,
-    payload: dict | None = None,
-    *,
-    timeout: float = 10.0,
-) -> dict:
+class _ConnectionFailed(QueryError):
+    """Internal marker: the request never reached the server (retryable)."""
+
+
+def _request_once(base_url: str, path: str, payload: dict | None, timeout: float) -> dict:
     """One HTTP round-trip: GET when ``payload`` is None, POST otherwise."""
     url = base_url.rstrip("/") + path
     body = None if payload is None else json.dumps(payload).encode()
@@ -41,14 +51,65 @@ def request_json(
             return json.loads(response.read().decode())
     except urllib.error.HTTPError as error:
         try:
-            message = json.loads(error.read().decode()).get("error", str(error))
+            decoded = json.loads(error.read().decode())
         except (json.JSONDecodeError, UnicodeDecodeError):
-            message = str(error)
+            decoded = {}
+        message = decoded.get("error", str(error)) if isinstance(decoded, dict) else str(error)
         if error.code == 503:
-            raise ServerOverloadedError(message) from None
+            hint = decoded.get("retry_after_s") if isinstance(decoded, dict) else None
+            raise ServerOverloadedError(
+                message,
+                retry_after_s=float(hint) if isinstance(hint, (int, float)) else None,
+            ) from None
         raise QueryError(f"server returned {error.code}: {message}") from None
     except urllib.error.URLError as error:
-        raise QueryError(f"cannot reach {url}: {error.reason}") from None
+        raise _ConnectionFailed(f"cannot reach {url}: {error.reason}") from None
+
+
+def request_json(
+    base_url: str,
+    path: str,
+    payload: dict | None = None,
+    *,
+    timeout: float = 10.0,
+    retries: int = 0,
+    backoff_s: float = 0.05,
+    max_backoff_s: float = 2.0,
+    deadline_s: float | None = None,
+    sleep=time.sleep,
+    rng: random.Random | None = None,
+    clock=time.monotonic,
+) -> dict:
+    """HTTP round-trip with up to ``retries`` retries on retryable failures.
+
+    ``sleep``/``rng``/``clock`` are injectable for deterministic tests: the
+    k-th backoff is drawn uniformly from ``(0, min(backoff_s * 2**k,
+    max_backoff_s)]`` (full jitter), unless the server supplied a
+    ``Retry-After`` hint, which wins.  ``deadline_s`` bounds the *total*
+    elapsed time; once it would be exceeded the last error is re-raised
+    instead of sleeping.
+    """
+    if retries < 0:
+        raise QueryError(f"retries must be >= 0, got {retries}")
+    rng = rng if rng is not None else random.Random()
+    started = clock()
+    attempt = 0
+    while True:
+        try:
+            return _request_once(base_url, path, payload, timeout)
+        except (ServerOverloadedError, _ConnectionFailed) as error:
+            if attempt >= retries:
+                raise
+            hint = getattr(error, "retry_after_s", None)
+            if hint is not None and hint >= 0:
+                delay = float(hint)
+            else:
+                ceiling = min(backoff_s * (2.0 ** attempt), max_backoff_s)
+                delay = rng.uniform(0.0, ceiling) if ceiling > 0 else 0.0
+            if deadline_s is not None and (clock() - started) + delay > deadline_s:
+                raise
+            sleep(delay)
+            attempt += 1
 
 
 def _guarantee_spec(guarantee: Guarantee | None) -> dict | None:
@@ -63,8 +124,14 @@ def query_remote(
     guarantee: Guarantee | None = None,
     index: str = "default",
     timeout: float = 10.0,
+    retries: int = 0,
+    deadline_ms: float | None = None,
 ) -> dict:
-    """Answer one scalar query: 2 bounds for 1-D hosts, 4 for 2-D hosts."""
+    """Answer one scalar query: 2 bounds for 1-D hosts, 4 for 2-D hosts.
+
+    ``deadline_ms`` is forwarded to the server as the request's budget and
+    also caps the client's own retry loop.
+    """
     if len(bounds) == 2:
         payload: dict = {"low": bounds[0], "high": bounds[1]}
     elif len(bounds) == 4:
@@ -78,7 +145,13 @@ def query_remote(
     spec = _guarantee_spec(guarantee)
     if spec is not None:
         payload["guarantee"] = spec
-    return request_json(base_url, "/query", payload, timeout=timeout)
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return request_json(
+        base_url, "/query", payload,
+        timeout=timeout, retries=retries,
+        deadline_s=None if deadline_ms is None else deadline_ms / 1000.0,
+    )
 
 
 def query_batch_remote(
@@ -89,20 +162,28 @@ def query_batch_remote(
     guarantee: Guarantee | None = None,
     index: str = "default",
     timeout: float = 30.0,
+    retries: int = 0,
+    deadline_ms: float | None = None,
 ) -> dict:
     """Answer a 1-D workload in one ``/query_batch`` call."""
     payload: dict = {"lows": list(lows), "highs": list(highs), "index": index}
     spec = _guarantee_spec(guarantee)
     if spec is not None:
         payload["guarantee"] = spec
-    return request_json(base_url, "/query_batch", payload, timeout=timeout)
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    return request_json(
+        base_url, "/query_batch", payload,
+        timeout=timeout, retries=retries,
+        deadline_s=None if deadline_ms is None else deadline_ms / 1000.0,
+    )
 
 
-def stats_remote(base_url: str, *, timeout: float = 10.0) -> dict:
+def stats_remote(base_url: str, *, timeout: float = 10.0, retries: int = 0) -> dict:
     """Fetch the server's ``/stats`` payload."""
-    return request_json(base_url, "/stats", timeout=timeout)
+    return request_json(base_url, "/stats", timeout=timeout, retries=retries)
 
 
-def health_remote(base_url: str, *, timeout: float = 10.0) -> dict:
+def health_remote(base_url: str, *, timeout: float = 10.0, retries: int = 0) -> dict:
     """Fetch the server's ``/healthz`` payload."""
-    return request_json(base_url, "/healthz", timeout=timeout)
+    return request_json(base_url, "/healthz", timeout=timeout, retries=retries)

@@ -68,6 +68,9 @@ class ServedAnswer(NamedTuple):
     epoch: int
     version: int
     batch_size: int
+    #: True when the answer was computed around failed fleet partitions
+    #: (degraded read: the certified bound is widened, see FleetRouter).
+    partial: bool = False
 
 
 @dataclass
@@ -268,6 +271,10 @@ class Coalescer:
         guaranteed = answer.guaranteed.tolist()
         fallback = answer.exact_fallback.tolist()
         error_bounds = answer.error_bounds.tolist()
+        degraded_column = getattr(answer, "degraded", None)
+        degraded = (
+            degraded_column.tolist() if degraded_column is not None else [False] * size
+        )
         for i, (_, future) in enumerate(batch):
             if future.done():  # cancelled by the client
                 continue
@@ -276,7 +283,7 @@ class Coalescer:
                 ServedAnswer(
                     values[i], guaranteed[i], fallback[i],
                     bound if bound == bound else None,  # NaN -> None
-                    epoch, version, size,
+                    epoch, version, size, degraded[i],
                 )
             )
 

@@ -26,13 +26,23 @@ Routes
     wrong — they return 400 with the library's NotSupported message).
 
 Status codes: 400 malformed request, 404 unknown route/index, 503 admission
-control or shutdown, 500 engine fault.
+control / shutdown / expired deadline, 500 engine fault.  A query answered
+*around* failed fleet partitions (degraded read, see
+:class:`~repro.fleet.router.FleetRouter`) returns **206 Partial Content**:
+the body is a normal answer whose certified bound was widened to cover the
+missing partitions, with ``"partial": true`` so clients can tell.  Every 503
+carries a ``Retry-After`` header (and ``retry_after_s`` in the JSON body) so
+well-behaved clients back off instead of hammering an overloaded server.
+
+Requests may set ``"deadline_ms"``: if the server cannot answer within that
+budget the request fails with 503 rather than occupying a queue slot forever.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 from typing import Mapping
 
@@ -46,6 +56,9 @@ from .host import EngineHost
 __all__ = ["ServeServer"]
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Back-off hint attached to 503 responses that carry no explicit hint.
+_DEFAULT_RETRY_AFTER_S = 0.1
 
 
 def _parse_guarantee(payload: dict) -> Guarantee | None:
@@ -101,7 +114,36 @@ def _answer_payload(answer: ServedAnswer) -> dict:
         "epoch": answer.epoch,
         "version": answer.version,
         "batch_size": answer.batch_size,
+        "partial": answer.partial,
     }
+
+
+def _deadline_s(payload: dict) -> float | None:
+    """Parse the optional per-request ``deadline_ms`` budget."""
+    raw = payload.get("deadline_ms")
+    if raw is None:
+        return None
+    try:
+        deadline = float(raw)
+    except (TypeError, ValueError):
+        raise QueryError("deadline_ms must be a positive number") from None
+    if not deadline > 0:
+        raise QueryError("deadline_ms must be a positive number")
+    return deadline / 1000.0
+
+
+async def _within_deadline(awaitable, deadline: float | None):
+    """Await with an optional budget; expiry becomes a retryable 503."""
+    if deadline is None:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, timeout=deadline)
+    except asyncio.TimeoutError:
+        raise ServerOverloadedError(
+            f"deadline of {deadline * 1000:.0f}ms expired before the answer "
+            f"was ready",
+            retry_after_s=deadline,
+        ) from None
 
 
 class ServeServer:
@@ -225,13 +267,21 @@ class ServeServer:
     async def _write_response(
         writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
     ) -> None:
-        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                   500: "Internal Server Error", 503: "Service Unavailable"}
+        reasons = {200: "OK", 206: "Partial Content", 400: "Bad Request",
+                   404: "Not Found", 500: "Internal Server Error",
+                   503: "Service Unavailable"}
         body = json.dumps(payload).encode()
+        retry_after = payload.get("retry_after_s")
+        retry_header = (
+            f"Retry-After: {max(0, math.ceil(retry_after))}\r\n"
+            if isinstance(retry_after, (int, float))
+            else ""
+        )
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -267,7 +317,10 @@ class ServeServer:
                 return self._handle_insert(host, payload)
             return self._handle_compact(host)
         except ServerOverloadedError as error:
-            return 503, {"error": str(error)}
+            retry_after = getattr(error, "retry_after_s", None)
+            if retry_after is None:
+                retry_after = _DEFAULT_RETRY_AFTER_S
+            return 503, {"error": str(error), "retry_after_s": retry_after}
         except QueryError as error:
             if str(error).startswith("unknown index"):
                 return 404, {"error": str(error)}
@@ -295,31 +348,47 @@ class ServeServer:
 
     async def _handle_query(self, host: EngineHost, payload: dict) -> tuple[int, dict]:
         guarantee = _parse_guarantee(payload)
+        deadline = _deadline_s(payload)
         bounds = _scalar_bounds(payload, host.dims)
-        answer = await self.coalescer.submit(bounds, guarantee, index=host.name)
-        return 200, _answer_payload(answer)
+        answer = await _within_deadline(
+            self.coalescer.submit(bounds, guarantee, index=host.name), deadline
+        )
+        return (206 if answer.partial else 200), _answer_payload(answer)
 
     async def _handle_query_batch(
         self, host: EngineHost, payload: dict
     ) -> tuple[int, dict]:
         guarantee = _parse_guarantee(payload)
+        deadline = _deadline_s(payload)
         columns = _batch_bounds(payload, host.dims)
         view = host.pin()
         loop = asyncio.get_running_loop()
-        answer = await loop.run_in_executor(
-            None, host.execute, view, columns, guarantee
+        answer = await _within_deadline(
+            loop.run_in_executor(None, host.execute, view, columns, guarantee),
+            deadline,
         )
         bounds_list = [
             None if np.isnan(b) else float(b) for b in answer.error_bounds
         ]
-        return 200, {
+        degraded_column = getattr(answer, "degraded", None)
+        degraded = (
+            degraded_column.tolist()
+            if degraded_column is not None
+            else [False] * answer.values.size
+        )
+        partial = any(degraded)
+        body = {
             "values": answer.values.tolist(),
             "guaranteed": answer.guaranteed.tolist(),
             "exact_fallback": answer.exact_fallback.tolist(),
             "error_bounds": bounds_list,
             "epoch": view.epoch,
             "version": view.version,
+            "partial": partial,
+            "degraded": degraded,
+            "failed_partitions": list(getattr(answer, "failed_partitions", ())),
         }
+        return (206 if partial else 200), body
 
     def _handle_insert(self, host: EngineHost, payload: dict) -> tuple[int, dict]:
         keys = payload.get("keys")

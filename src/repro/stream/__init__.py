@@ -15,16 +15,25 @@ mutation lifecycle — inserts, flush epochs, snapshots and compaction:
 * :class:`~repro.stream.updatable2d.UpdatablePolyFit2DIndex` — the minimal
   two-key variant: exact :class:`~repro.functions.cumulative2d.Cumulative2D`
   merge over the buffered points, full rebuild at compaction.
+* :class:`~repro.stream.wal.WriteAheadLog` — CRC-framed durability for the
+  insert path: both updatable indexes accept ``wal_path=`` so acknowledged
+  inserts replay bit-identically after a crash via ``recover()``, with torn
+  log tails truncated at the last valid frame (see ``docs/FORMATS.md``).
 """
 
 from .buffer import DeltaBuffer
 from .policy import CompactionPolicy
 from .updatable import UpdatablePolyFitIndex
 from .updatable2d import UpdatablePolyFit2DIndex
+from .wal import WalRecord, WalScan, WriteAheadLog, scan_wal
 
 __all__ = [
     "CompactionPolicy",
     "DeltaBuffer",
     "UpdatablePolyFitIndex",
     "UpdatablePolyFit2DIndex",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal",
 ]

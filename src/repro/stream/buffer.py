@@ -42,19 +42,20 @@ class DeltaBuffer:
         """Whether the buffer holds no records."""
         return self._size == 0
 
-    def insert(self, keys: np.ndarray, measures: np.ndarray | None = None) -> int:
-        """Append a chunk of records; returns the number inserted.
+    def coerce(self, keys: np.ndarray, measures: np.ndarray | None = None):
+        """Validate and coerce an insert chunk without applying it.
 
         Validation mirrors the build path: finite keys, COUNT forces unit
         measures, SUM requires non-negative measures (the cumulative function
-        must stay monotone), MAX/MIN require measures.  Keys may arrive in
-        any order — ordering is resolved at snapshot/compaction time.
+        must stay monotone), MAX/MIN require measures.  Split from
+        :meth:`insert` so the write-ahead log can validate *before* logging —
+        a rejected chunk must never reach the log, or replay would fail on it.
         """
         keys = np.atleast_1d(np.asarray(keys, dtype=np.float64))
         if keys.ndim != 1:
             raise DataError("inserted keys must be a 1-D array")
         if keys.size == 0:
-            return 0
+            return keys, keys
         if not np.all(np.isfinite(keys)):
             raise DataError("inserted keys contain NaN or infinite values")
         if self._aggregate is Aggregate.COUNT:
@@ -69,6 +70,17 @@ class DeltaBuffer:
                 raise DataError("inserted measures contain NaN or infinite values")
             if self._aggregate is Aggregate.SUM and np.any(measures < 0):
                 raise DataError("SUM inserts require non-negative measures")
+        return keys, measures
+
+    def insert(self, keys: np.ndarray, measures: np.ndarray | None = None) -> int:
+        """Append a chunk of records; returns the number inserted.
+
+        Keys may arrive in any order — ordering is resolved at
+        snapshot/compaction time (see :meth:`coerce` for the validation).
+        """
+        keys, measures = self.coerce(keys, measures)
+        if keys.size == 0:
+            return 0
         self._key_chunks.append(keys.copy())
         self._measure_chunks.append(measures.copy())
         self._size += keys.size

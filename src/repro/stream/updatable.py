@@ -35,11 +35,12 @@ see ROADMAP.
 from __future__ import annotations
 
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
 from ..config import Aggregate, IndexConfig
-from ..errors import GuaranteeNotSatisfiedError
+from ..errors import GuaranteeNotSatisfiedError, SerializationError
 from ..fitting.incremental import CorridorScanner, fit_incremental_polynomial
 from ..fitting.segmentation import Segment, greedy_segmentation
 from ..index.overlay import DirectoryOverlay
@@ -48,8 +49,87 @@ from ..index.serialization import assemble_index1d
 from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery
 from .buffer import DeltaBuffer
 from .policy import CompactionPolicy
+from .wal import RT_COMPACT, RT_INSERT1D, RT_INSERT2D, RT_SEAL, WriteAheadLog
 
 __all__ = ["UpdatablePolyFitIndex"]
+
+
+def _open_fresh_wal(wal_path, *, sync_every: int, opener) -> WriteAheadLog:
+    """Attach a WAL to a *new* index: an existing non-empty log is refused.
+
+    Constructing a fresh index over a log that already holds acknowledged
+    records would silently fork history — those records exist durably but
+    not in memory.  The reopen path is ``recover()``, which replays first.
+    """
+    wal = WriteAheadLog(wal_path, sync_every=sync_every, opener=opener)
+    if wal.scanned_records:
+        wal.close()
+        raise SerializationError(
+            f"WAL {wal_path} already holds {len(wal.scanned_records)} records; "
+            "use recover() to replay them instead of attaching a fresh index"
+        )
+    return wal
+
+
+def _replay_wal(index, wal: WriteAheadLog, *, two_dimensional: bool) -> int:
+    """Replay a scanned WAL over ``index``, skipping checkpointed records.
+
+    ``index._restored_wal_counts`` (stamped by the codec when loading a
+    checkpoint) says how many insert/compaction records the checkpoint
+    already subsumes; everything after that prefix re-runs the same
+    deterministic ``insert``/``compact`` code paths — with
+    ``index._replaying`` set so nothing is re-logged and auto-compaction
+    stays quiet (compactions replay exactly where their durable markers
+    are, not where the policy would fire mid-prefix).  Returns the number
+    of records applied.
+    """
+    counts = getattr(index, "_restored_wal_counts", None) or {}
+    skip_inserts = int(counts.get("inserts", 0))
+    skip_compactions = int(counts.get("compactions", 0))
+    insert_kinds = (RT_INSERT2D,) if two_dimensional else (RT_INSERT1D,)
+    seen_inserts = seen_compactions = applied = 0
+    index._replaying = True
+    try:
+        for record in wal.scanned_records:
+            if record.kind in insert_kinds:
+                seen_inserts += 1
+                if seen_inserts <= skip_inserts:
+                    continue
+                if two_dimensional:
+                    index.insert(record.keys, record.ys, record.measures)
+                else:
+                    index.insert(record.keys, record.measures)
+                applied += 1
+            elif record.kind == RT_COMPACT:
+                seen_compactions += 1
+                if seen_compactions <= skip_compactions:
+                    continue
+                index.compact()
+                if index.epoch != record.epoch:
+                    raise SerializationError(
+                        f"WAL replay of {wal.path} diverged: compaction record "
+                        f"says epoch {record.epoch}, replayed index is at "
+                        f"epoch {index.epoch} — checkpoint and log disagree"
+                    )
+                applied += 1
+            elif record.kind == RT_SEAL:
+                continue  # advisory: fsck cross-checks seals, replay does not
+            else:
+                raise SerializationError(
+                    f"WAL {wal.path} holds a 1-D/2-D record mismatching the "
+                    f"index being recovered (record type {record.kind})"
+                )
+    finally:
+        index._replaying = False
+    if seen_inserts < skip_inserts or seen_compactions < skip_compactions:
+        raise SerializationError(
+            f"checkpoint subsumes {skip_inserts} inserts / "
+            f"{skip_compactions} compactions but WAL {wal.path} holds only "
+            f"{seen_inserts} / {seen_compactions} — wrong log for this checkpoint"
+        )
+    index._wal = wal
+    index._restored_wal_counts = None
+    return applied
 
 
 class UpdatablePolyFitIndex:
@@ -61,7 +141,15 @@ class UpdatablePolyFitIndex:
     shard workers always serve one consistent epoch.
     """
 
-    def __init__(self, base: PolyFitIndex, policy: CompactionPolicy | None = None) -> None:
+    def __init__(
+        self,
+        base: PolyFitIndex,
+        policy: CompactionPolicy | None = None,
+        *,
+        wal_path: str | Path | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
+    ) -> None:
         self._base = base
         self._policy = policy or CompactionPolicy()
         self._buffer = DeltaBuffer(base.aggregate)
@@ -72,6 +160,15 @@ class UpdatablePolyFitIndex:
         self._scanner: CorridorScanner | None = None
         self._scanner_start = -1
         self._scanned_until = -1
+        # Durability: acknowledged inserts/compactions go through the WAL
+        # first; ``recover()`` replays them after a crash.
+        self._wal: WriteAheadLog | None = None
+        self._replaying = False
+        self._restored_wal_counts: dict | None = None
+        if wal_path is not None:
+            self._wal = _open_fresh_wal(
+                wal_path, sync_every=wal_sync_every, opener=wal_opener
+            )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -88,6 +185,9 @@ class UpdatablePolyFitIndex:
         guarantee: Guarantee | None = None,
         config: IndexConfig | None = None,
         policy: CompactionPolicy | None = None,
+        wal_path: str | Path | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
     ) -> "UpdatablePolyFitIndex":
         """Build the base index from records and make it updatable."""
         base = PolyFitIndex.build(
@@ -98,14 +198,26 @@ class UpdatablePolyFitIndex:
             guarantee=guarantee,
             config=config,
         )
-        return cls(base, policy=policy)
+        return cls(
+            base, policy=policy, wal_path=wal_path,
+            wal_sync_every=wal_sync_every, wal_opener=wal_opener,
+        )
 
     @classmethod
     def wrap(
-        cls, index: PolyFitIndex, policy: CompactionPolicy | None = None
+        cls,
+        index: PolyFitIndex,
+        policy: CompactionPolicy | None = None,
+        *,
+        wal_path: str | Path | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
     ) -> "UpdatablePolyFitIndex":
         """Adopt an already-built static index as the base."""
-        return cls(index, policy=policy)
+        return cls(
+            index, policy=policy, wal_path=wal_path,
+            wal_sync_every=wal_sync_every, wal_opener=wal_opener,
+        )
 
     @classmethod
     def _restore(
@@ -215,13 +327,27 @@ class UpdatablePolyFitIndex:
         order and may duplicate existing keys; only the compaction cost
         differs (append-only tails resume the corridor scanner, everything
         else takes the bounded merge-rebuild).
+
+        With a WAL attached, the chunk is validated, logged, and only then
+        applied — so every record the log holds replays cleanly, and an
+        insert this method acknowledged survives a crash (modulo the
+        group-commit window, see :class:`~repro.stream.wal.WriteAheadLog`).
         """
+        if self._wal is not None and not self._replaying:
+            keys, measures = self._buffer.coerce(keys, measures)
+            if keys.size:
+                self._wal.append_insert(
+                    keys,
+                    None if self.aggregate is Aggregate.COUNT else measures,
+                )
         count = self._buffer.insert(keys, measures)
         if count:
             self._overlay = None
             self._version += 1
-            if self._policy.auto and self._policy.should_compact(
-                len(self._buffer), self._function_size()
+            if (
+                not self._replaying
+                and self._policy.auto
+                and self._policy.should_compact(len(self._buffer), self._function_size())
             ):
                 self.compact()
         return count
@@ -279,6 +405,77 @@ class UpdatablePolyFitIndex:
         self._overlay = None
         self._epoch += 1
         self._version += 1
+        if self._wal is not None and not self._replaying:
+            # Logged *after* the compaction completes: a crash in between
+            # replays the buffered inserts over the old base instead — the
+            # exact answers are identical, the compaction just re-runs later.
+            self._wal.append_compaction(self._epoch)
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    def checkpoint(self, path: str | Path) -> Path:
+        """Persist the full state atomically and seal the WAL position.
+
+        The checkpoint file carries the WAL record counts it subsumes (in
+        its codec meta), so a later :meth:`recover` replays only the suffix.
+        Crash-safe in either half: the checkpoint write is atomic, and the
+        seal is advisory — whichever checkpoint file survives describes its
+        own log position exactly.
+        """
+        from ..index.codec import save_index_binary
+
+        path = Path(path)
+        save_index_binary(self, path)
+        if self._wal is not None:
+            self._wal.append_seal(epoch=self._epoch, buffer_size=self.buffer_size)
+        return path
+
+    @classmethod
+    def recover(
+        cls,
+        checkpoint,
+        wal_path: str | Path,
+        *,
+        policy: CompactionPolicy | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
+        verify: bool = False,
+    ) -> "UpdatablePolyFitIndex":
+        """Rebuild the pre-crash state: checkpoint (or base) + WAL replay.
+
+        ``checkpoint`` is a codec file path, an already-loaded
+        :class:`UpdatablePolyFitIndex`, or a bare
+        :class:`~repro.index.polyfit1d.PolyFitIndex` (no checkpoint — the
+        whole log replays).  Opening the WAL truncates a torn tail at the
+        last valid frame; mid-file corruption raises
+        :class:`~repro.errors.SerializationError`.  The replayed state is
+        bit-identical to the crashed process at its last durable record,
+        and the returned index keeps appending to the same log.
+        """
+        if isinstance(checkpoint, (str, Path)):
+            from ..index.codec import load_index_binary
+
+            # mmap=False: recovery must not keep serving off a file the
+            # caller may rewrite with the next checkpoint.
+            index = load_index_binary(checkpoint, mmap=False, verify=verify)
+        else:
+            index = checkpoint
+        if isinstance(index, PolyFitIndex):
+            index = cls(index, policy=policy)
+        if not isinstance(index, cls):
+            raise SerializationError(
+                f"cannot recover a 1-D updatable index from {type(index).__name__}"
+            )
+        wal = WriteAheadLog(wal_path, sync_every=wal_sync_every, opener=wal_opener)
+        _replay_wal(index, wal, two_dimensional=False)
+        return index
 
     # ------------------------------------------------------------------ #
     # Read path

@@ -12,15 +12,19 @@ set (bounded by the policy threshold); incremental quadtree compaction — the
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..config import Aggregate, QuadTreeConfig
-from ..errors import DataError
+from ..errors import DataError, SerializationError
 from ..functions.cumulative2d import Cumulative2D, build_cumulative_2d
 from ..index.polyfit2d import PolyFit2DIndex
 from ..queries.batch import resolve_batch_certificates
 from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery2D
 from .policy import CompactionPolicy
+from .updatable import _open_fresh_wal, _replay_wal
+from .wal import WriteAheadLog
 
 __all__ = ["UpdatablePolyFit2DIndex"]
 
@@ -115,7 +119,13 @@ class UpdatablePolyFit2DIndex:
     """PolyFit2D with an insert path: point buffer, epochs, rebuild compaction."""
 
     def __init__(
-        self, base: PolyFit2DIndex, policy: CompactionPolicy | None = None
+        self,
+        base: PolyFit2DIndex,
+        policy: CompactionPolicy | None = None,
+        *,
+        wal_path: str | Path | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
     ) -> None:
         self._base = base
         self._policy = policy or CompactionPolicy()
@@ -126,6 +136,14 @@ class UpdatablePolyFit2DIndex:
         self._epoch = 0
         self._version = 0
         self._overlay: _Overlay2D | None = None
+        # Durability (mirrors the 1-D index): log first, apply second.
+        self._wal: WriteAheadLog | None = None
+        self._replaying = False
+        self._restored_wal_counts: dict | None = None
+        if wal_path is not None:
+            self._wal = _open_fresh_wal(
+                wal_path, sync_every=wal_sync_every, opener=wal_opener
+            )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -144,6 +162,9 @@ class UpdatablePolyFit2DIndex:
         grid_resolution: int = 96,
         aggregate: Aggregate = Aggregate.COUNT,
         policy: CompactionPolicy | None = None,
+        wal_path: str | Path | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
     ) -> "UpdatablePolyFit2DIndex":
         """Build the base 2-D index from points and make it updatable."""
         base = PolyFit2DIndex.build(
@@ -156,14 +177,57 @@ class UpdatablePolyFit2DIndex:
             grid_resolution=grid_resolution,
             aggregate=aggregate,
         )
-        return cls(base, policy=policy)
+        return cls(
+            base, policy=policy, wal_path=wal_path,
+            wal_sync_every=wal_sync_every, wal_opener=wal_opener,
+        )
 
     @classmethod
     def wrap(
-        cls, index: PolyFit2DIndex, policy: CompactionPolicy | None = None
+        cls,
+        index: PolyFit2DIndex,
+        policy: CompactionPolicy | None = None,
+        *,
+        wal_path: str | Path | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
     ) -> "UpdatablePolyFit2DIndex":
         """Adopt an already-built static 2-D index as the base."""
-        return cls(index, policy=policy)
+        return cls(
+            index, policy=policy, wal_path=wal_path,
+            wal_sync_every=wal_sync_every, wal_opener=wal_opener,
+        )
+
+    @classmethod
+    def _restore(
+        cls,
+        base: PolyFit2DIndex,
+        policy: CompactionPolicy,
+        delta_xs: np.ndarray,
+        delta_ys: np.ndarray,
+        delta_ws: np.ndarray | None,
+        *,
+        epoch: int,
+    ) -> "UpdatablePolyFit2DIndex":
+        """Codec entry point: rebuild with a persisted point buffer and epoch.
+
+        Bypasses auto-compaction so a loaded index reproduces the persisted
+        snapshot byte for byte (same buffer, same epoch).
+        """
+        index = cls(base, policy=policy)
+        delta_xs = np.asarray(delta_xs, dtype=np.float64)
+        if delta_xs.size:
+            index._x_chunks.append(delta_xs.copy())
+            index._y_chunks.append(np.asarray(delta_ys, dtype=np.float64).copy())
+            ws = (
+                np.asarray(delta_ws, dtype=np.float64).copy()
+                if delta_ws is not None
+                else np.ones_like(delta_xs)
+            )
+            index._w_chunks.append(ws)
+            index._size = int(delta_xs.size)
+        index._epoch = int(epoch)
+        return index
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -218,16 +282,17 @@ class UpdatablePolyFit2DIndex:
     # Write path
     # ------------------------------------------------------------------ #
 
-    def insert(
-        self, xs: np.ndarray, ys: np.ndarray, measures: np.ndarray | None = None
-    ) -> int:
-        """Buffer a chunk of points; compacts when the policy says so."""
+    def _coerce_insert(
+        self, xs: np.ndarray, ys: np.ndarray, measures: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Validate and coerce an insert chunk without applying it (so a
+        rejected chunk never reaches the WAL — replay must never fail)."""
         xs = np.atleast_1d(np.asarray(xs, dtype=np.float64))
         ys = np.atleast_1d(np.asarray(ys, dtype=np.float64))
         if xs.ndim != 1 or xs.shape != ys.shape:
             raise DataError("inserted coordinates must be equal-length 1-D arrays")
         if xs.size == 0:
-            return 0
+            return xs, ys, xs
         if not (np.all(np.isfinite(xs)) and np.all(np.isfinite(ys))):
             raise DataError("inserted coordinates contain NaN or infinite values")
         if self.aggregate is Aggregate.SUM:
@@ -242,14 +307,34 @@ class UpdatablePolyFit2DIndex:
                 raise DataError("SUM inserts require non-negative measures")
         else:
             measures = np.ones_like(xs)
+        return xs, ys, measures
+
+    def insert(
+        self, xs: np.ndarray, ys: np.ndarray, measures: np.ndarray | None = None
+    ) -> int:
+        """Buffer a chunk of points; compacts when the policy says so.
+
+        With a WAL attached the chunk is logged before it is applied, so an
+        acknowledged insert survives a crash (see the 1-D index for the
+        group-commit caveat).
+        """
+        xs, ys, measures = self._coerce_insert(xs, ys, measures)
+        if xs.size == 0:
+            return 0
+        if self._wal is not None and not self._replaying:
+            self._wal.append_insert2d(
+                xs, ys, measures if self.aggregate is Aggregate.SUM else None
+            )
         self._x_chunks.append(xs.copy())
         self._y_chunks.append(ys.copy())
         self._w_chunks.append(measures.copy())
         self._size += xs.size
         self._overlay = None
         self._version += 1
-        if self._policy.auto and self._policy.should_compact(
-            self._size, self._base_points()[0].size
+        if (
+            not self._replaying
+            and self._policy.auto
+            and self._policy.should_compact(self._size, self._base_points()[0].size)
         ):
             self.compact()
         return int(xs.size)
@@ -289,11 +374,78 @@ class UpdatablePolyFit2DIndex:
         self._overlay = None
         self._epoch += 1
         self._version += 1
+        if self._wal is not None and not self._replaying:
+            # After the rebuild, like the 1-D index: a crash in between just
+            # replays the buffered points over the old base.
+            self._wal.append_compaction(self._epoch)
         return True
 
     def _base_points(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
         exact = self._base._exact  # noqa: SLF001 - stream is a friend module
         return exact.xs, exact.ys, exact.weights
+
+    def _buffer_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Buffered points in arrival order (the codec/checkpoint input)."""
+        if not self._x_chunks:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty.copy(), empty.copy()
+        return (
+            np.concatenate(self._x_chunks),
+            np.concatenate(self._y_chunks),
+            np.concatenate(self._w_chunks),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log, if any."""
+        return self._wal
+
+    def checkpoint(self, path: str | Path) -> Path:
+        """Persist the full state atomically and seal the WAL position."""
+        from ..index.codec import save_index_binary
+
+        path = Path(path)
+        save_index_binary(self, path)
+        if self._wal is not None:
+            self._wal.append_seal(epoch=self._epoch, buffer_size=self._size)
+        return path
+
+    @classmethod
+    def recover(
+        cls,
+        checkpoint,
+        wal_path: str | Path,
+        *,
+        policy: CompactionPolicy | None = None,
+        wal_sync_every: int = 1,
+        wal_opener=None,
+        verify: bool = False,
+    ) -> "UpdatablePolyFit2DIndex":
+        """Rebuild the pre-crash state: checkpoint (or base) + WAL replay.
+
+        Mirrors :meth:`UpdatablePolyFitIndex.recover` — ``checkpoint`` is a
+        codec file path, a loaded :class:`UpdatablePolyFit2DIndex`, or a bare
+        :class:`~repro.index.polyfit2d.PolyFit2DIndex`.
+        """
+        if isinstance(checkpoint, (str, Path)):
+            from ..index.codec import load_index_binary
+
+            index = load_index_binary(checkpoint, mmap=False, verify=verify)
+        else:
+            index = checkpoint
+        if isinstance(index, PolyFit2DIndex):
+            index = cls(index, policy=policy)
+        if not isinstance(index, cls):
+            raise SerializationError(
+                f"cannot recover a 2-D updatable index from {type(index).__name__}"
+            )
+        wal = WriteAheadLog(wal_path, sync_every=wal_sync_every, opener=wal_opener)
+        _replay_wal(index, wal, two_dimensional=True)
+        return index
 
     # ------------------------------------------------------------------ #
     # Read path

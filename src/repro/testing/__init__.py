@@ -1,0 +1,30 @@
+"""Deterministic fault-injection harness for durability testing.
+
+Everything the crash-point sweeps need to prove the recovery invariants:
+injectable file handles that die at an exact byte offset or refuse to
+``fsync``, a deterministic clock for backoff/deadline tests, bit-flip and
+truncation helpers for corrupting artifacts on disk, and a flaky partition
+view for exercising the fleet router's ``degrade`` policy.  Shipped inside
+the library (not under ``tests/``) so benchmarks and downstream users can
+run the same sweeps against their own deployments.
+"""
+
+from .faults import (
+    CrashPoint,
+    FaultClock,
+    FaultyFile,
+    FlakyView,
+    crash_point_offsets,
+    flip_bit,
+    truncate_file,
+)
+
+__all__ = [
+    "CrashPoint",
+    "FaultClock",
+    "FaultyFile",
+    "FlakyView",
+    "crash_point_offsets",
+    "flip_bit",
+    "truncate_file",
+]

@@ -1,0 +1,255 @@
+"""Injectable faults: dying file handles, failing fsyncs, frozen clocks.
+
+The durability layer's correctness claim is universally quantified — *at
+every byte offset a crash can interrupt a write, recovery must reproduce the
+acknowledged prefix bit-identically or raise a typed error*.  Proving a
+universally quantified property needs an injection point that can place the
+crash anywhere, deterministically.  This module provides them:
+
+* :class:`CrashPoint` — the exception a simulated death raises.  It derives
+  from :class:`BaseException` (not ``Exception``) on purpose: production
+  ``except Exception`` recovery code must never be able to swallow a
+  simulated power cut.
+* :class:`FaultyFile` — wraps a real binary file handle with a byte budget:
+  the write that would exceed the budget is applied *partially* (exactly the
+  bytes that fit, like a torn sector) and then raises :class:`CrashPoint`.
+  It can also fail or count ``sync`` calls, modelling an fsync that returns
+  an error.
+* :class:`FaultClock` — a manual clock + sleep recorder so exponential
+  backoff and deadline logic is tested against exact arithmetic, not wall
+  time.
+* :func:`flip_bit` / :func:`truncate_file` — post-hoc corruption of an
+  artifact on disk (a bit rot / torn tail simulator).
+* :class:`FlakyView` — a partition read view whose batch methods fail on
+  command, driving the router's ``degrade`` policy.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "CrashPoint",
+    "FaultyFile",
+    "FaultClock",
+    "FlakyView",
+    "crash_point_offsets",
+    "flip_bit",
+    "truncate_file",
+]
+
+
+class CrashPoint(BaseException):
+    """A simulated process death mid-write.
+
+    BaseException so recovery code that catches ``Exception`` (the correct
+    breadth for real I/O errors) cannot accidentally absorb the simulated
+    crash and report a clean run.
+    """
+
+    def __init__(self, message: str = "simulated crash", *, offset: int = -1) -> None:
+        super().__init__(message)
+        self.offset = int(offset)
+
+
+class FaultyFile:
+    """A binary file handle that dies after writing ``fail_after`` bytes.
+
+    Parameters
+    ----------
+    path:
+        File to open (mode ``wb``, or ``r+b``/``ab`` via ``mode=``).
+    fail_after:
+        Total byte budget across all writes; the write crossing it is
+        truncated to exactly the bytes that fit, flushed, and then
+        :class:`CrashPoint` is raised — the on-disk state is a real torn
+        write.  ``None`` disables the write fault.
+    fail_sync:
+        When true, every :meth:`sync` raises :class:`CrashPoint` *before*
+        asking the kernel to flush (an acknowledged-but-not-durable write).
+
+    The wrapper exposes the subset of the file protocol the durability layer
+    uses (``write``/``flush``/``seek``/``tell``/``truncate``/``close`` plus
+    a ``sync`` method the WAL and atomic-write helper prefer over raw
+    ``os.fsync`` when present), so it can be dropped in via their
+    ``file_factory``/``opener`` hooks.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fail_after: int | None = None,
+        fail_sync: bool = False,
+        mode: str = "wb",
+    ) -> None:
+        self._handle = open(path, mode)
+        self._budget = None if fail_after is None else int(fail_after)
+        self._fail_sync = bool(fail_sync)
+        self.bytes_written = 0
+        self.sync_calls = 0
+
+    # -- file protocol ------------------------------------------------- #
+
+    def write(self, data) -> int:
+        data = bytes(data)
+        if self._budget is not None and self.bytes_written + len(data) > self._budget:
+            fits = self._budget - self.bytes_written
+            if fits > 0:
+                self._handle.write(data[:fits])
+                self.bytes_written += fits
+            self._handle.flush()
+            raise CrashPoint(
+                f"write killed at byte {self.bytes_written}", offset=self.bytes_written
+            )
+        self._handle.write(data)
+        self.bytes_written += len(data)
+        return len(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def sync(self) -> None:
+        """The durability barrier (``flush`` + ``fsync``), or its failure."""
+        self.sync_calls += 1
+        if self._fail_sync:
+            raise CrashPoint("fsync failed")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._handle.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._handle.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        return self._handle.truncate(size)
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class FaultClock:
+    """Manual monotonic clock with a sleep recorder.
+
+    ``time()`` returns the current reading; ``sleep(s)`` records ``s`` and
+    advances the reading by exactly ``s``.  Backoff sequences and deadline
+    checks become pure arithmetic the tests assert on.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+        self.sleeps: list[float] = []
+
+    def time(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(float(seconds))
+        self.now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep (work happening)."""
+        self.now += float(seconds)
+
+
+class FlakyView:
+    """A partition read view whose batch methods fail on command.
+
+    Wraps any object exposing the view protocol (``estimate_batch`` /
+    ``exact_batch`` / ``certified_bound`` / ``epoch`` / ``version``) and
+    raises ``error`` from the wrapped batch methods while :attr:`failing`
+    is true.  ``fail_next`` arms a one-shot failure counter instead, so a
+    test can fail exactly the first k calls (a transient partition outage).
+    """
+
+    def __init__(self, view, *, failing: bool = True, error: Exception | None = None) -> None:
+        self._view = view
+        self.failing = bool(failing)
+        self.fail_next = 0
+        self.calls = 0
+        self._error = error
+
+    def _maybe_fail(self) -> None:
+        self.calls += 1
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise self._make_error()
+        if self.failing:
+            raise self._make_error()
+
+    def _make_error(self) -> Exception:
+        if self._error is not None:
+            return self._error
+        from ..errors import SerializationError
+
+        return SerializationError("injected partition failure")
+
+    @property
+    def certified_bound(self) -> float:
+        return self._view.certified_bound
+
+    @property
+    def aggregate(self):
+        return self._view.aggregate
+
+    @property
+    def epoch(self) -> int:
+        return getattr(self._view, "epoch", 0)
+
+    @property
+    def version(self) -> int:
+        return getattr(self._view, "version", 0)
+
+    def estimate_batch(self, lows, highs):
+        self._maybe_fail()
+        return self._view.estimate_batch(lows, highs)
+
+    def exact_batch(self, lows, highs):
+        self._maybe_fail()
+        return self._view.exact_batch(lows, highs)
+
+
+def crash_point_offsets(total: int, *, stride: int = 1) -> range:
+    """Every byte offset a write of ``total`` bytes can be killed at.
+
+    ``stride`` thins the sweep for large payloads (the frame-boundary
+    offsets the WAL tests care about are covered separately); offset 0
+    (nothing written) and offsets inside the final byte are included.
+    """
+    return range(0, max(0, int(total)), max(1, int(stride)))
+
+
+def flip_bit(path: str | Path, byte_offset: int, bit: int = 0) -> None:
+    """Flip one bit of a file in place (deterministic bit-rot injection)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not 0 <= byte_offset < len(data):
+        raise ValueError(f"offset {byte_offset} outside file of {len(data)} bytes")
+    data[byte_offset] ^= 1 << (bit % 8)
+    path.write_bytes(bytes(data))
+
+
+def truncate_file(path: str | Path, size: int) -> None:
+    """Truncate a file to ``size`` bytes (a torn-tail simulator)."""
+    path = Path(path)
+    current = path.stat().st_size
+    if not 0 <= size <= current:
+        raise ValueError(f"cannot truncate {current}-byte file to {size}")
+    with open(path, "r+b") as handle:
+        handle.truncate(size)
