@@ -36,17 +36,28 @@
 #   make bench-durability - full durability protocol (WAL'd vs plain insert
 #                       throughput, recovery time vs log length, degraded
 #                       fleet-read overhead), writes BENCH_durability.json
+#   make bench-obs    - full observability-overhead protocol (instrumented
+#                       vs uninstrumented serve p50 and batch throughput,
+#                       trace-sampling cost at 0%/1%/100%, exposition
+#                       validity, bit-identity), writes
+#                       BENCH_observability.json
 #   make fsck-smoke   - the `repro fsck` CLI against a freshly corrupted
 #                       fixture: clean artifacts must exit 0, a bit-flipped
 #                       codec file must exit 1 with a typed report
-#   make docs-lint    - README/docs link + anchor checker, and every
+#   make metrics-smoke - stand up a live server over a WAL-backed updatable
+#                       index, drive traffic through every layer, and
+#                       require GET /metrics to be valid Prometheus text
+#                       covering serve, cache, shard, WAL and compaction
+#   make docs-lint    - README/docs link + anchor checker, every
 #                       BENCH_*.json named in the docs must be emitted by a
-#                       benchmark (and vice versa)
+#                       benchmark (and vice versa), and every metric name
+#                       documented in docs/OBSERVABILITY.md must be
+#                       registered in the code (and vice versa)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: tier1 lint docs-lint smoke-batch fsck-smoke bench-batch bench-shards bench-build bench-update bench-serve bench-fleet bench-durability
+.PHONY: tier1 lint docs-lint smoke-batch fsck-smoke metrics-smoke bench-batch bench-shards bench-build bench-update bench-serve bench-fleet bench-durability bench-obs
 
 tier1:
 	$(PYTHON) -m pytest -x -q
@@ -67,12 +78,17 @@ smoke-batch:
 		tests/test_fleet.py \
 		tests/test_wal.py tests/test_degrade.py tests/test_fsck.py \
 		tests/test_serve_resilience.py \
+		tests/test_obs_metrics.py tests/test_obs_tracing.py tests/test_obs_serve.py \
 		benchmarks/bench_shard_scaling.py benchmarks/bench_build_time.py \
 		benchmarks/bench_update_throughput.py benchmarks/bench_serve_latency.py \
-		benchmarks/bench_fleet_scaling.py benchmarks/bench_durability.py
+		benchmarks/bench_fleet_scaling.py benchmarks/bench_durability.py \
+		benchmarks/bench_observability.py
 
 fsck-smoke:
 	@$(PYTHON) tools/fsck_smoke.py
+
+metrics-smoke:
+	@$(PYTHON) tools/metrics_smoke.py
 
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_throughput.py
@@ -94,6 +110,9 @@ bench-fleet:
 
 bench-durability:
 	$(PYTHON) benchmarks/bench_durability.py
+
+bench-obs:
+	$(PYTHON) benchmarks/bench_observability.py
 
 docs-lint:
 	$(PYTHON) tools/check_docs.py

@@ -1,6 +1,6 @@
 """Command-line interface for building, querying and serving PolyFit indexes.
 
-Provides nine subcommands mirroring a typical deployment workflow:
+Provides ten subcommands mirroring a typical deployment workflow:
 
 ``build``
     Load a (key, measure) CSV, build a PolyFit index for the requested
@@ -40,6 +40,13 @@ Provides nine subcommands mirroring a typical deployment workflow:
     ``--retries`` adds bounded exponential-backoff retry on 503s and
     connection errors.
 
+``metrics``
+    Dump a running server's telemetry: the Prometheus ``/metrics``
+    exposition (default), a JSON registry snapshot with histogram
+    percentiles (``--json``), the slow-query log (``--slowlog``) or the
+    sampled trace timelines (``--traces``); ``--watch N`` re-fetches every
+    N seconds to tail a live server.
+
 ``fsck``
     Verify durable artifacts offline — codec files (per-array checksums),
     write-ahead logs (frame CRCs, torn-tail classification), fleet
@@ -59,6 +66,7 @@ Example
     python -m repro.cli serve fleet/ --port 8080
     python -m repro.cli serve --synthetic 100000 --delta 100 --port 8080
     python -m repro.cli query-remote http://127.0.0.1:8080 1000 2000 --eps-abs 200
+    python -m repro.cli metrics http://127.0.0.1:8080
     python -m repro.cli fsck fleet/ index.pfbin ingest.wal
 """
 
@@ -67,6 +75,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+import time
 from typing import Sequence
 
 import numpy as np
@@ -228,6 +237,38 @@ def build_parser() -> argparse.ArgumentParser:
                             "answer with a widened certified bound (206)")
     serve.add_argument("--verify", action="store_true",
                        help="verify per-array checksums while loading")
+    serve.add_argument("--trace-sample-rate", type=float, default=0.0,
+                       help="fraction of /query requests that record a span "
+                            "timeline (0 disables tracing)")
+    serve.add_argument("--trace-seed", type=int, default=None,
+                       help="seed the trace sampler for deterministic runs")
+    serve.add_argument("--slow-query-ms", type=float, default=250.0,
+                       help="queries at or above this wall time land in "
+                            "GET /slowlog")
+    serve.add_argument("--log-format", choices=["plain", "json"],
+                       default="plain",
+                       help="json emits one access-log line per request")
+    serve.add_argument("--no-instrument", action="store_true",
+                       help="disable all metrics instruments (overhead A/B "
+                            "baseline; /metrics exposes nothing)")
+
+    metrics = subparsers.add_parser(
+        "metrics", help="dump a running server's /metrics registry"
+    )
+    metrics.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8080")
+    metrics.add_argument("--json", action="store_true",
+                         help="print the registry snapshot as JSON (with "
+                              "histogram percentiles) instead of Prometheus "
+                              "text")
+    metrics.add_argument("--slowlog", action="store_true",
+                         help="print the server's slow-query log instead")
+    metrics.add_argument("--traces", action="store_true",
+                         help="print the server's sampled traces instead")
+    metrics.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                         help="re-fetch and re-print every SECONDS until "
+                              "interrupted (tail a live server)")
+    metrics.add_argument("--timeout", type=float, default=10.0,
+                         help="HTTP timeout in seconds")
 
     remote = subparsers.add_parser(
         "query-remote", help="smoke-test a running serve instance over HTTP"
@@ -501,17 +542,24 @@ def build_serve_server(args: argparse.Namespace):
     from .serve import EngineHost, ServeServer
 
     index = _serve_index(args)
+    instrument = not getattr(args, "no_instrument", False)
     host = EngineHost(
         index,
         cache_size=args.cache_size,
         kernel=args.kernel,
         num_shards=args.num_shards,
+        instrument=instrument,
     )
     server = ServeServer(
         host,
         max_wait_ms=args.max_wait_ms,
         max_batch=args.max_batch,
         max_pending=args.max_pending,
+        instrument=instrument,
+        trace_sample_rate=getattr(args, "trace_sample_rate", 0.0),
+        trace_seed=getattr(args, "trace_seed", None),
+        slow_query_ms=getattr(args, "slow_query_ms", 250.0),
+        log_format=getattr(args, "log_format", "plain"),
     )
     return host, server
 
@@ -584,6 +632,42 @@ def _command_query_remote(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    from .serve import metrics_remote, request_json, slowlog_remote, traces_remote
+
+    def fetch() -> str:
+        import json as _json
+
+        if args.slowlog:
+            return _json.dumps(
+                slowlog_remote(args.url, timeout=args.timeout), indent=2
+            )
+        if args.traces:
+            return _json.dumps(
+                traces_remote(args.url, timeout=args.timeout), indent=2
+            )
+        if args.json:
+            return _json.dumps(
+                request_json(args.url, "/metrics.json", timeout=args.timeout),
+                indent=2,
+            )
+        return metrics_remote(args.url, timeout=args.timeout).rstrip("\n")
+
+    if args.watch is None:
+        print(fetch())
+        return 0
+    if args.watch <= 0:
+        raise QueryError(f"--watch needs a positive interval, got {args.watch}")
+    try:
+        while True:
+            print(fetch())
+            print(flush=True)  # blank separator between refreshes
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _command_fsck(args: argparse.Namespace) -> int:
     from .fsck import fsck_path
 
@@ -615,6 +699,7 @@ _COMMANDS = {
     "fleet-stats": _command_fleet_stats,
     "serve": _command_serve,
     "query-remote": _command_query_remote,
+    "metrics": _command_metrics,
     "fsck": _command_fsck,
 }
 

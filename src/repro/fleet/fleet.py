@@ -40,7 +40,7 @@ from ..config import GuaranteeKind
 from .map import PartitionMap
 from .partition import Partition
 from .policy import FleetPolicy
-from .router import FleetRouter
+from .router import FleetMetrics, FleetRouter
 
 __all__ = ["IndexFleet", "FleetSnapshot", "Fleet2D"]
 
@@ -101,14 +101,19 @@ class FleetSnapshot:
         """Per-query certified bounds of the merged answers."""
         return self._router.error_bounds_batch(lows, highs)
 
+    #: Callers may pass ``trace=`` through ``query_batch`` (duck-typed
+    #: capability check used by the serving host).
+    supports_trace = True
+
     def query_batch(
         self,
         lows: np.ndarray,
         highs: np.ndarray,
         guarantee: Guarantee | None = None,
+        trace=None,
     ) -> BatchQueryResult:
         """Answer N queries with certificates over the merged values."""
-        return self._router.query_batch(lows, highs, guarantee)
+        return self._router.query_batch(lows, highs, guarantee, trace=trace)
 
     def close(self) -> None:
         """Release the router's sharded pools (idempotent)."""
@@ -160,6 +165,10 @@ class IndexFleet:
         self._failure_policy = failure_policy
         self._epoch = 0
         self._version = 0
+        # One bundle for the fleet's lifetime: routers are rebuilt per
+        # snapshot but share these instruments, so fan-out latency and
+        # degrade counters accumulate across snapshot swaps.
+        self._metrics = FleetMetrics()
         # Current snapshot plus one retired generation, so a reader pinned
         # on the previous snapshot can finish while the next one serves.
         self._snapshots: list[FleetSnapshot] = []
@@ -372,6 +381,22 @@ class IndexFleet:
             ],
         }
 
+    def metrics_families(self) -> list:
+        """Fleet + per-partition metric families for registry registration.
+
+        Partition-level families (compaction, WAL) are tagged with the
+        partition id they held at registration time; indexes created by a
+        later split/merge pick up fresh families that a re-registration
+        would cover, so long-lived servers should scrape the fleet-level
+        families for rebalance-proof series.
+        """
+        fams: list = list(self._metrics.families())
+        for pid, partition in enumerate(self._partitions):
+            per_index = getattr(partition.index, "metrics_families", None)
+            if callable(per_index):
+                fams.extend((fam, {"partition": str(pid)}) for fam in per_index())
+        return fams
+
     # ------------------------------------------------------------------ #
     # Read path
     # ------------------------------------------------------------------ #
@@ -392,6 +417,7 @@ class IndexFleet:
             num_shards=self._num_shards,
             executor=self._executor,
             failure_policy=self._failure_policy,
+            metrics=self._metrics,
         )
         snapshot = FleetSnapshot(router, epoch=self._epoch, version=self._version)
         self._snapshots.append(snapshot)

@@ -52,19 +52,57 @@ answer — exactly what the durability layer exists to rule out.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import Aggregate, GuaranteeKind
 from ..errors import DataError
+from ..obs.metrics import counter_family, histogram_family
 from ..queries.batch import resolve_batch_certificates, validate_bounds_batch
 from ..queries.sharding import DEFAULT_MIN_QUERIES_PER_SHARD, ShardedQueryEngine
 from ..queries.types import BatchQueryResult, Guarantee
 from .map import PartitionMap
 from .partition import EmptyPartitionView
 
-__all__ = ["FleetRouter", "PartitionPlan"]
+__all__ = ["FleetMetrics", "FleetRouter", "PartitionPlan"]
+
+
+class FleetMetrics:
+    """Scatter-gather instruments, owned by the live fleet.
+
+    Routers are frozen per fleet snapshot and rebuilt on every version
+    bump, so :class:`~repro.fleet.fleet.IndexFleet` creates one bundle and
+    threads it into each successive router — fan-out latency and degrade
+    counters accumulate across snapshots.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.partition_seconds = histogram_family(
+            "repro_fleet_partition_seconds",
+            "Per-partition fan-out execution time in seconds",
+            ("partition",),
+            enabled=enabled,
+        )
+        self.degraded_answers_total = counter_family(
+            "repro_fleet_degraded_answers_total",
+            "Queries answered with widened bounds because a partition failed",
+            enabled=enabled,
+        )
+        self.failed_partitions_total = counter_family(
+            "repro_fleet_failed_partitions_total",
+            "Partition failures observed by degrade-mode scatters",
+            enabled=enabled,
+        )
+
+    def families(self) -> list:
+        fams = [
+            self.partition_seconds,
+            self.degraded_answers_total,
+            self.failed_partitions_total,
+        ]
+        return [f for f in fams if getattr(f, "enabled", False)]
 
 
 @dataclass(frozen=True)
@@ -113,6 +151,7 @@ class FleetRouter:
         executor: str = "serial",
         min_queries_per_shard: int = DEFAULT_MIN_QUERIES_PER_SHARD,
         failure_policy: str = "fail_fast",
+        metrics: FleetMetrics | None = None,
     ) -> None:
         if len(views) != partition_map.num_partitions:
             raise DataError(
@@ -129,6 +168,7 @@ class FleetRouter:
         self._cumulative = aggregate.is_cumulative
         self._combine = np.fmax if aggregate is Aggregate.MAX else np.fmin
         self._failure_policy = failure_policy
+        self._metrics = metrics
         self._sharded = num_shards > 1 or executor != "serial"
         self._engines: list = []
         for view in self._views:
@@ -233,14 +273,47 @@ class FleetRouter:
     # Merging
     # ------------------------------------------------------------------ #
 
-    def _scatter(self, method: str, plans: list[PartitionPlan]) -> list[np.ndarray]:
-        return [
-            getattr(self._engines[plan.pid], method)(plan.lows, plan.highs)
-            for plan in plans
-        ]
+    def _observer(self, trace):
+        """Per-partition timing hook for the scatter loops (None = no-op)."""
+        hist = self._metrics.partition_seconds if self._metrics is not None else None
+        if hist is None and trace is None:
+            return None, None
+        clock = trace.now if trace is not None else time.perf_counter
+
+        def observe(plan: PartitionPlan, t0: float, t1: float) -> None:
+            if hist is not None:
+                hist.labels(partition=str(plan.pid)).observe(t1 - t0)
+            if trace is not None:
+                trace.add_span(
+                    "partition_exec",
+                    t0,
+                    t1,
+                    partition=plan.pid,
+                    queries=int(plan.query_indices.size),
+                )
+
+        return clock, observe
+
+    def _scatter(
+        self, method: str, plans: list[PartitionPlan], trace=None
+    ) -> list[np.ndarray]:
+        clock, observe = self._observer(trace)
+        if observe is None:
+            return [
+                getattr(self._engines[plan.pid], method)(plan.lows, plan.highs)
+                for plan in plans
+            ]
+        partials: list[np.ndarray] = []
+        for plan in plans:
+            t0 = clock()
+            partials.append(
+                getattr(self._engines[plan.pid], method)(plan.lows, plan.highs)
+            )
+            observe(plan, t0, clock())
+        return partials
 
     def _scatter_capture(
-        self, method: str, plans: list[PartitionPlan]
+        self, method: str, plans: list[PartitionPlan], trace=None
     ) -> tuple[list, set[int]]:
         """Degrade-mode scatter: a failing partition yields ``None`` partials.
 
@@ -248,9 +321,11 @@ class FleetRouter:
         an injected crash point) still propagates; the degrade policy covers
         partition faults, not process death.
         """
+        clock, observe = self._observer(trace)
         partials: list = []
         failed: set[int] = set()
         for plan in plans:
+            t0 = clock() if observe is not None else 0.0
             try:
                 partials.append(
                     getattr(self._engines[plan.pid], method)(plan.lows, plan.highs)
@@ -258,6 +333,8 @@ class FleetRouter:
             except Exception:
                 failed.add(plan.pid)
                 partials.append(None)
+            if observe is not None:
+                observe(plan, t0, clock())
         return partials, failed
 
     def _widen_for_failures(
@@ -382,11 +459,16 @@ class FleetRouter:
         lows, highs, plans = self.plan(lows, highs)
         return self.merged_bounds(lows.size, plans)
 
+    #: Callers may pass ``trace=`` through ``query_batch`` (duck-typed
+    #: capability check used by the serving host).
+    supports_trace = True
+
     def query_batch(
         self,
         lows: np.ndarray,
         highs: np.ndarray,
         guarantee: Guarantee | None = None,
+        trace=None,
     ) -> BatchQueryResult:
         """Answer N queries with certificates over the merged values.
 
@@ -407,22 +489,33 @@ class FleetRouter:
         lows, highs, plans = self.plan(lows, highs)
         n = lows.size
         if self._failure_policy == "degrade":
-            partials, failed = self._scatter_capture("estimate_batch", plans)
+            partials, failed = self._scatter_capture("estimate_batch", plans, trace)
             if failed:
                 return self._query_batch_degraded(
                     lows, highs, plans, partials, failed, guarantee
                 )
             approx = self._merge_values(n, plans, partials)
         else:
-            approx = self._merge_values(n, plans, self._scatter("estimate_batch", plans))
+            approx = self._merge_values(
+                n, plans, self._scatter("estimate_batch", plans, trace)
+            )
         bounds = self.merged_bounds(n, plans)
-        return resolve_batch_certificates(
-            approx,
-            error_bound=bounds,
-            guarantee=guarantee,
-            exact_for_mask=lambda mask: self.exact_batch(lows[mask], highs[mask]),
-            absolute_fallback=False,
-        )
+        if trace is None:
+            return resolve_batch_certificates(
+                approx,
+                error_bound=bounds,
+                guarantee=guarantee,
+                exact_for_mask=lambda mask: self.exact_batch(lows[mask], highs[mask]),
+                absolute_fallback=False,
+            )
+        with trace.span("merge", partitions=len(plans)):
+            return resolve_batch_certificates(
+                approx,
+                error_bound=bounds,
+                guarantee=guarantee,
+                exact_for_mask=lambda mask: self.exact_batch(lows[mask], highs[mask]),
+                absolute_fallback=False,
+            )
 
     def _query_batch_degraded(
         self,
@@ -481,6 +574,9 @@ class FleetRouter:
                         sub_values >= sub_bounds * (1.0 + 1.0 / guarantee.epsilon)
                     )
                 guaranteed[fallback] = sub_ok
+        if self._metrics is not None:
+            self._metrics.degraded_answers_total.inc(int(degraded.sum()))
+            self._metrics.failed_partitions_total.inc(len(failed_pids))
         return BatchQueryResult(
             values,
             guaranteed,

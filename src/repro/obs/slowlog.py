@@ -1,0 +1,84 @@
+"""Threshold-based slow-query log with a bounded ring buffer.
+
+The serving front records one entry per request whose wall time exceeds
+``threshold_ms``.  Entries keep a compact summary (endpoint, status,
+latency, and whatever detail the caller attaches — epoch, batch size,
+guarantee) rather than the full request body, so a burst of slow batches
+cannot balloon memory.  Thread-safe; exposed over ``GET /slowlog`` and the
+``repro metrics --slowlog`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    def __init__(
+        self,
+        threshold_ms: float,
+        capacity: int = 128,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: list[dict] = []
+        self.total = 0
+
+    def record(
+        self,
+        endpoint: str,
+        duration_s: float,
+        *,
+        status: int | None = None,
+        detail: dict | None = None,
+    ) -> bool:
+        """Record the request if it was slow; returns True when recorded."""
+        duration_ms = duration_s * 1e3
+        if duration_ms < self.threshold_ms:
+            return False
+        entry = {
+            "ts": self._clock(),
+            "endpoint": endpoint,
+            "duration_ms": duration_ms,
+        }
+        if status is not None:
+            entry["status"] = int(status)
+        if detail:
+            entry["detail"] = dict(detail)
+        with self._lock:
+            self.total += 1
+            self._entries.append(entry)
+            if len(self._entries) > self.capacity:
+                del self._entries[: len(self._entries) - self.capacity]
+        return True
+
+    def entries(self) -> list[dict]:
+        with self._lock:
+            return [dict(e) for e in self._entries]
+
+    def export_jsonl(self) -> str:
+        return "".join(json.dumps(e, sort_keys=True) + "\n" for e in self.entries())
+
+    def as_dict(self) -> dict:
+        return {
+            "threshold_ms": self.threshold_ms,
+            "capacity": self.capacity,
+            "total": self.total,
+            "entries": self.entries(),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,179 @@
+"""Sampled query tracing: Trace/Span records with a bounded ring buffer.
+
+A ``Tracer`` makes the sampling decision at query admission time (seeded
+``random.Random`` so tests are deterministic), hands back a ``Trace`` for
+sampled queries and ``None`` otherwise — the ``None`` fast path is a single
+rng draw, which is what keeps 1%-sampling overhead negligible.  Spans are
+appended by whichever layer handles the query (coalescer wait → pin →
+cache probe → fan-out → shard exec → merge); appends are lock-protected so
+shard worker threads can record concurrently.  Finished traces land in a
+``deque(maxlen=capacity)`` ring buffer and can be exported as JSON lines.
+
+The clock is injectable (monotonic seconds) so tests can script exact
+timelines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+__all__ = ["Span", "Trace", "Tracer"]
+
+
+class Span:
+    """One timed step inside a trace."""
+
+    __slots__ = ("name", "start", "end", "attrs")
+
+    def __init__(self, name: str, start: float, end: float, attrs: dict | None = None) -> None:
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_payload(self) -> dict:
+        out = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration_ms": (self.end - self.start) * 1e3,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class Trace:
+    """An ordered list of spans for one sampled query."""
+
+    __slots__ = ("trace_id", "name", "started", "ended", "attrs", "_spans", "_clock", "_lock")
+
+    def __init__(self, trace_id: int, name: str, clock: Callable[[], float], attrs: dict | None = None) -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self.started = clock()
+        self.ended: float | None = None
+
+    def add_span(self, name: str, start: float, end: float, **attrs: object) -> Span:
+        span = Span(name, start, end, dict(attrs) if attrs else None)
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        start = self._clock()
+        span = Span(name, start, start, dict(attrs) if attrs else None)
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            with self._lock:
+                self._spans.append(span)
+
+    def now(self) -> float:
+        return self._clock()
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def duration(self) -> float:
+        end = self.ended if self.ended is not None else self._clock()
+        return end - self.started
+
+    def to_payload(self) -> dict:
+        payload = {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started": self.started,
+            "duration_ms": self.duration * 1e3,
+            "spans": [s.to_payload() for s in self.spans],
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        return payload
+
+
+class Tracer:
+    """Sampling decision + bounded storage for finished traces."""
+
+    def __init__(
+        self,
+        sample_rate: float = 0.0,
+        capacity: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sample_rate = float(sample_rate)
+        self.capacity = int(capacity)
+        self.clock = clock
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._ring: list[Trace] = []
+        self._ids = itertools.count(1)
+        self.sampled_total = 0
+        self.finished_total = 0
+
+    def start(self, name: str, **attrs: object) -> Trace | None:
+        """Begin a trace if this query wins the sampling draw, else None."""
+        rate = self.sample_rate
+        if rate <= 0.0:
+            return None
+        with self._lock:
+            if rate < 1.0 and self._rng.random() >= rate:
+                return None
+            self.sampled_total += 1
+            trace_id = next(self._ids)
+        return Trace(trace_id, name, self.clock, dict(attrs) if attrs else None)
+
+    def finish(self, trace: Trace | None) -> None:
+        if trace is None:
+            return
+        trace.ended = self.clock()
+        with self._lock:
+            self.finished_total += 1
+            self._ring.append(trace)
+            if len(self._ring) > self.capacity:
+                del self._ring[: len(self._ring) - self.capacity]
+
+    def traces(self) -> list[Trace]:
+        with self._lock:
+            return list(self._ring)
+
+    def payloads(self) -> list[dict]:
+        return [t.to_payload() for t in self.traces()]
+
+    def export_jsonl(self) -> str:
+        return "".join(json.dumps(p, sort_keys=True) + "\n" for p in self.payloads())
+
+    def dump(self, path: str) -> int:
+        payloads = self.payloads()
+        with open(path, "w", encoding="utf-8") as fh:
+            for p in payloads:
+                fh.write(json.dumps(p, sort_keys=True) + "\n")
+        return len(payloads)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

@@ -29,6 +29,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.metrics import counter_family, gauge_family
+
 from .types import BatchQueryResult, Guarantee
 
 __all__ = ["CacheInfo", "ResultCache"]
@@ -42,6 +44,7 @@ class CacheInfo:
     misses: int
     maxsize: int
     currsize: int
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -66,14 +69,36 @@ class ResultCache:
         construct a cache when caching is disabled.
     """
 
-    def __init__(self, maxsize: int) -> None:
+    def __init__(self, maxsize: int, *, instrument: bool = True) -> None:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
         self._maxsize = int(maxsize)
         self._entries: OrderedDict[tuple, BatchQueryResult | np.ndarray] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
         self._lock = threading.Lock()
+        # Hit/miss/eviction counts live in metric instruments so the
+        # registry (`/metrics`) and `CacheInfo` (`/stats`) read the same
+        # source and can never disagree.
+        self._fam_hits = counter_family(
+            "repro_cache_hits_total", "Result-cache lookups served from cache", enabled=instrument
+        )
+        self._fam_misses = counter_family(
+            "repro_cache_misses_total", "Result-cache lookups that missed", enabled=instrument
+        )
+        self._fam_evictions = counter_family(
+            "repro_cache_evictions_total", "Result-cache entries evicted by LRU pressure", enabled=instrument
+        )
+        self._fam_entries = gauge_family(
+            "repro_cache_entries", "Result-cache entries currently resident", enabled=instrument
+        )
+        self._hits = self._fam_hits.labels()
+        self._misses = self._fam_misses.labels()
+        self._evictions = self._fam_evictions.labels()
+        self._currsize = self._fam_entries.labels()
+
+    def metrics_families(self) -> list:
+        """The cache's metric families, for registry registration."""
+        fams = [self._fam_hits, self._fam_misses, self._fam_evictions, self._fam_entries]
+        return [f for f in fams if getattr(f, "enabled", False)]
 
     @staticmethod
     def make_key(
@@ -99,10 +124,10 @@ class ResultCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
             self._entries.move_to_end(key)
-            self._hits += 1
+            self._hits.inc()
             return entry
 
     def put(self, key: tuple, value: BatchQueryResult | np.ndarray) -> None:
@@ -112,19 +137,23 @@ class ResultCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
+                self._evictions.inc()
+            self._currsize.set(len(self._entries))
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
         with self._lock:
             self._entries.clear()
-            self._hits = 0
-            self._misses = 0
+            self._hits.reset()
+            self._misses.reset()
+            self._currsize.set(0)
 
     def info(self) -> CacheInfo:
         with self._lock:
             return CacheInfo(
-                hits=self._hits,
-                misses=self._misses,
+                hits=int(self._hits.value),
+                misses=int(self._misses.value),
                 maxsize=self._maxsize,
                 currsize=len(self._entries),
+                evictions=int(self._evictions.value),
             )

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from pathlib import Path
 from typing import Sequence
@@ -39,10 +40,16 @@ import numpy as np
 
 from ..errors import QueryError
 from ..kernels import resolve_kernel
+from ..obs.metrics import histogram_family
 from .batch import validate_bounds_batch
 from .types import BatchQueryResult, Guarantee
 
-__all__ = ["ShardedQueryEngine", "shard_slices", "DEFAULT_MIN_QUERIES_PER_SHARD"]
+__all__ = [
+    "ShardedQueryEngine",
+    "ShardMetrics",
+    "shard_slices",
+    "DEFAULT_MIN_QUERIES_PER_SHARD",
+]
 
 _EXECUTORS = ("serial", "thread", "process")
 
@@ -147,6 +154,27 @@ def _normalize(result):
     return np.asarray(result)
 
 
+class ShardMetrics:
+    """Per-shard execution instruments, owned by whoever outlives the engine.
+
+    Sharded engines are rebuilt on every epoch swap (see
+    ``EngineHost._sharded_for``), so the long-lived owner creates one bundle
+    and passes it into each successive engine — counts accumulate across
+    swaps.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.exec_seconds = histogram_family(
+            "repro_shard_exec_seconds",
+            "Per-shard chunk execution time in seconds",
+            ("shard",),
+            enabled=enabled,
+        )
+
+    def families(self) -> list:
+        return [self.exec_seconds] if getattr(self.exec_seconds, "enabled", False) else []
+
+
 def _merge(parts: list):
     if isinstance(parts[0], tuple):
         return BatchQueryResult(
@@ -203,6 +231,7 @@ class ShardedQueryEngine:
         min_queries_per_shard: int = DEFAULT_MIN_QUERIES_PER_SHARD,
         mmap: bool = True,
         kernel: str = "auto",
+        metrics: ShardMetrics | None = None,
     ) -> None:
         resolve_kernel(kernel)  # validate the choice (and its availability) eagerly
         if executor not in _EXECUTORS:
@@ -226,6 +255,7 @@ class ShardedQueryEngine:
         self._min_queries_per_shard = int(min_queries_per_shard)
         self._mmap = bool(mmap)
         self._kernel = kernel
+        self._metrics = metrics
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
         if index is not None:
             _apply_kernel(index, kernel)
@@ -280,8 +310,12 @@ class ShardedQueryEngine:
         """Sharded counterpart of the index's ``exact_batch``."""
         return self._run("exact_batch", bounds, None)
 
+    #: Callers may pass a ``trace=`` through ``query_batch`` (duck-typed
+    #: capability check used by the serving host).
+    supports_trace = True
+
     def query_batch(
-        self, *bounds: np.ndarray, guarantee: Guarantee | None = None
+        self, *bounds: np.ndarray, guarantee: Guarantee | None = None, trace=None
     ) -> BatchQueryResult:
         """Sharded counterpart of the index's ``query_batch``.
 
@@ -293,7 +327,7 @@ class ShardedQueryEngine:
                 raise QueryError("guarantee passed both positionally and by keyword")
             guarantee = bounds[-1]
             bounds = bounds[:-1]
-        return self._run("query_batch", bounds, guarantee)
+        return self._run("query_batch", bounds, guarantee, trace=trace)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -304,6 +338,7 @@ class ShardedQueryEngine:
         method: str,
         bounds: Sequence[np.ndarray],
         guarantee: Guarantee | None,
+        trace=None,
     ):
         if method not in _BATCH_METHODS:
             raise QueryError(f"unknown batch method {method!r}")
@@ -321,28 +356,63 @@ class ShardedQueryEngine:
             raise QueryError("bound arrays must be equal-length 1-D arrays")
         total = bounds[0].size
         slices = shard_slices(total, self._num_shards)
+        hist = self._metrics.exec_seconds if self._metrics is not None else None
+        clock = trace.now if trace is not None else time.perf_counter
+
+        def observe(shard: int, t0: float, t1: float) -> None:
+            if hist is not None:
+                hist.labels(shard=str(shard)).observe(t1 - t0)
+            if trace is not None:
+                trace.add_span("shard_exec", t0, t1, shard=shard)
+
         if (
             self._executor == "serial"
             or len(slices) <= 1
             or total < self._num_shards * self._min_queries_per_shard
         ):
-            return _dispatch(self.index, method, bounds, guarantee)
+            if hist is None and trace is None:
+                return _dispatch(self.index, method, bounds, guarantee)
+            t0 = clock()
+            out = _dispatch(self.index, method, bounds, guarantee)
+            observe(0, t0, clock())
+            return out
 
         pool = self._ensure_pool()
         chunks = [
             tuple(bound[start:stop] for bound in bounds) for start, stop in slices
         ]
         if self._executor == "process":
+            # Workers run in other processes: per-shard time is measured as
+            # scatter-to-completion wall time in the parent (an upper bound
+            # that includes pool queueing).
+            t0 = clock()
             futures = [
                 pool.submit(_worker_run, method, chunk, guarantee) for chunk in chunks
             ]
-        else:
-            index = self.index
+            parts = []
+            for i, future in enumerate(futures):
+                parts.append(future.result())
+                observe(i, t0, clock())
+            return _merge(parts)
+
+        index = self.index
+        if hist is None and trace is None:
             futures = [
                 pool.submit(
                     lambda c: _normalize(_dispatch(index, method, c, guarantee)), chunk
                 )
                 for chunk in chunks
+            ]
+        else:
+
+            def run_chunk(shard: int, chunk):
+                t0 = clock()
+                out = _normalize(_dispatch(index, method, chunk, guarantee))
+                observe(shard, t0, clock())
+                return out
+
+            futures = [
+                pool.submit(run_chunk, i, chunk) for i, chunk in enumerate(chunks)
             ]
         return _merge([future.result() for future in futures])
 

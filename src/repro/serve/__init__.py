@@ -19,27 +19,38 @@ See ``benchmarks/bench_serve_latency.py`` for the latency/throughput
 protocol and the coalesced-vs-naive gates.
 """
 
-from .coalescer import Coalescer, CoalescerStats, ServedAnswer
-from .host import EngineHost, PinnedView
-from .http import ServeServer
+from .coalescer import Coalescer, CoalescerMetrics, CoalescerStats, ServedAnswer
+from .host import EngineHost, HostMetrics, PinnedView
+from .http import HttpMetrics, ServeServer
 from .client import (
     health_remote,
+    metrics_remote,
     query_batch_remote,
     query_remote,
     request_json,
+    request_text,
+    slowlog_remote,
     stats_remote,
+    traces_remote,
 )
 
 __all__ = [
     "Coalescer",
+    "CoalescerMetrics",
     "CoalescerStats",
     "ServedAnswer",
     "EngineHost",
+    "HostMetrics",
     "PinnedView",
     "ServeServer",
+    "HttpMetrics",
     "request_json",
+    "request_text",
     "query_remote",
     "query_batch_remote",
     "stats_remote",
     "health_remote",
+    "metrics_remote",
+    "slowlog_remote",
+    "traces_remote",
 ]

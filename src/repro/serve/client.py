@@ -29,7 +29,17 @@ import urllib.request
 from ..errors import QueryError, ServerOverloadedError
 from ..queries.types import Guarantee
 
-__all__ = ["request_json", "query_remote", "query_batch_remote", "stats_remote", "health_remote"]
+__all__ = [
+    "request_json",
+    "request_text",
+    "query_remote",
+    "query_batch_remote",
+    "stats_remote",
+    "health_remote",
+    "metrics_remote",
+    "slowlog_remote",
+    "traces_remote",
+]
 
 
 class _ConnectionFailed(QueryError):
@@ -187,3 +197,36 @@ def stats_remote(base_url: str, *, timeout: float = 10.0, retries: int = 0) -> d
 def health_remote(base_url: str, *, timeout: float = 10.0, retries: int = 0) -> dict:
     """Fetch the server's ``/healthz`` payload."""
     return request_json(base_url, "/healthz", timeout=timeout, retries=retries)
+
+
+def request_text(base_url: str, path: str, *, timeout: float = 10.0) -> str:
+    """One GET round-trip returning the raw response body as text.
+
+    For non-JSON endpoints (the Prometheus ``/metrics`` exposition).
+    """
+    url = base_url.rstrip("/") + path
+    request = urllib.request.Request(
+        url, headers={"Connection": "close"}, method="GET"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        raise QueryError(f"server returned {error.code} for {path}") from None
+    except urllib.error.URLError as error:
+        raise _ConnectionFailed(f"cannot reach {url}: {error.reason}") from None
+
+
+def metrics_remote(base_url: str, *, timeout: float = 10.0) -> str:
+    """Fetch the server's ``/metrics`` Prometheus text exposition."""
+    return request_text(base_url, "/metrics", timeout=timeout)
+
+
+def slowlog_remote(base_url: str, *, timeout: float = 10.0, retries: int = 0) -> dict:
+    """Fetch the server's ``/slowlog`` payload."""
+    return request_json(base_url, "/slowlog", timeout=timeout, retries=retries)
+
+
+def traces_remote(base_url: str, *, timeout: float = 10.0, retries: int = 0) -> dict:
+    """Fetch the server's ``/traces`` payload (sampled span timelines)."""
+    return request_json(base_url, "/traces", timeout=timeout, retries=retries)

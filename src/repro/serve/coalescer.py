@@ -34,19 +34,26 @@ Operational behaviour:
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Mapping, NamedTuple, Sequence
 
 import numpy as np
 
 from ..errors import QueryError, ServerOverloadedError
+from ..obs.metrics import SIZE_BUCKETS, counter_family, gauge_family, histogram_family
+from ..obs.tracing import Trace, Tracer
 from ..queries.types import Guarantee
 from .host import EngineHost
 
-__all__ = ["Coalescer", "ServedAnswer", "CoalescerStats"]
+__all__ = ["Coalescer", "CoalescerMetrics", "ServedAnswer", "CoalescerStats"]
 
 #: Queue key: one coalescing stream per (index name, guarantee).
 _QueueKey = tuple[str, Guarantee | None]
+
+#: Queue entry: request bounds, its future, the perf-counter enqueue instant
+#: (queue-wait measurement) and the request's sampled trace (usually None).
+_QueueItem = tuple[tuple[float, ...], asyncio.Future, float, "Trace | None"]
 
 
 class ServedAnswer(NamedTuple):
@@ -103,6 +110,104 @@ class CoalescerStats:
         }
 
 
+class CoalescerMetrics:
+    """Per-coalescer instrument bundle (the single source of truth).
+
+    :attr:`Coalescer.stats` is a *view* over these instruments, so the
+    ``/stats`` JSON and the ``/metrics`` exposition can never disagree.
+    Label-less children are pre-resolved once — the flush path touches
+    plain ``Counter``/``Histogram`` objects, never the family dict.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self._fam_submitted = counter_family(
+            "repro_coalescer_submitted_total",
+            "Scalar requests accepted into a coalescing queue.",
+            enabled=enabled,
+        )
+        self._fam_served = counter_family(
+            "repro_coalescer_served_total",
+            "Requests answered out of a coalesced batch.",
+            enabled=enabled,
+        )
+        self._fam_rejected = counter_family(
+            "repro_coalescer_rejected_total",
+            "Requests refused by admission control or shutdown.",
+            enabled=enabled,
+        )
+        self._fam_failed = counter_family(
+            "repro_coalescer_failed_total",
+            "Requests failed by an engine error during their flush.",
+            enabled=enabled,
+        )
+        self._fam_batches = counter_family(
+            "repro_coalescer_batches_total",
+            "Engine calls issued (one per flushed slice).",
+            enabled=enabled,
+        )
+        self._fam_ticks = counter_family(
+            "repro_coalescer_ticks_total",
+            "Flusher wake-ups, including empty (terminating) ticks.",
+            enabled=enabled,
+        )
+        self._fam_pending = gauge_family(
+            "repro_coalescer_pending",
+            "Requests accepted but not yet answered.",
+            enabled=enabled,
+        )
+        self._fam_max_batch = gauge_family(
+            "repro_coalescer_max_batch_size",
+            "Largest batch flushed so far.",
+            enabled=enabled,
+        )
+        self._fam_queue_wait = histogram_family(
+            "repro_coalescer_queue_wait_seconds",
+            "Time a request spent queued before its flush began.",
+            enabled=enabled,
+        )
+        self._fam_flush = histogram_family(
+            "repro_coalescer_flush_seconds",
+            "Engine-call latency of one flushed slice (pin to answer).",
+            enabled=enabled,
+        )
+        self._fam_batch_size = histogram_family(
+            "repro_coalescer_batch_size",
+            "Requests per engine call (the coalescing win).",
+            buckets=SIZE_BUCKETS,
+            enabled=enabled,
+        )
+        self.submitted = self._fam_submitted.labels()
+        self.served = self._fam_served.labels()
+        self.rejected = self._fam_rejected.labels()
+        self.failed = self._fam_failed.labels()
+        self.batches = self._fam_batches.labels()
+        self.ticks = self._fam_ticks.labels()
+        self.pending = self._fam_pending.labels()
+        self.max_batch_size = self._fam_max_batch.labels()
+        self.queue_wait_seconds = self._fam_queue_wait.labels()
+        self.flush_seconds = self._fam_flush.labels()
+        self.batch_size = self._fam_batch_size.labels()
+
+    def families(self) -> list:
+        return [
+            family
+            for family in (
+                self._fam_submitted,
+                self._fam_served,
+                self._fam_rejected,
+                self._fam_failed,
+                self._fam_batches,
+                self._fam_ticks,
+                self._fam_pending,
+                self._fam_max_batch,
+                self._fam_queue_wait,
+                self._fam_flush,
+                self._fam_batch_size,
+            )
+            if getattr(family, "enabled", False)
+        ]
+
+
 class Coalescer:
     """Collects concurrent scalar requests into vectorized batch calls.
 
@@ -118,6 +223,15 @@ class Coalescer:
         Largest single engine call; a fuller queue is drained in slices.
     max_pending:
         Admission-control bound on queued requests across all queues.
+    instrument:
+        When False, every instrument in :class:`CoalescerMetrics` is the
+        shared null no-op (for overhead A/B runs); :attr:`stats` then reads
+        all zeros.
+    tracer:
+        Optional sampled :class:`~repro.obs.tracing.Tracer`.  The sampling
+        decision is made per request at :meth:`submit`; sampled requests
+        carry a :class:`~repro.obs.tracing.Trace` through the queue and the
+        flush, picking up queue-wait, pin and engine-side spans.
     """
 
     def __init__(
@@ -127,6 +241,8 @@ class Coalescer:
         max_wait_ms: float = 1.0,
         max_batch: int = 8192,
         max_pending: int = 65536,
+        instrument: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         if isinstance(hosts, EngineHost):
             hosts = {hosts.name: hosts}
@@ -142,11 +258,36 @@ class Coalescer:
         self._max_wait = max_wait_ms / 1000.0
         self._max_batch = int(max_batch)
         self._max_pending = int(max_pending)
-        self._queues: dict[_QueueKey, list[tuple[tuple[float, ...], asyncio.Future]]] = {}
+        self._queues: dict[_QueueKey, list[_QueueItem]] = {}
         self._flushers: dict[_QueueKey, asyncio.Task] = {}
         self._pending = 0
         self._closed = False
-        self.stats = CoalescerStats()
+        self._obs = CoalescerMetrics(enabled=instrument)
+        self._tracer = tracer
+
+    @property
+    def stats(self) -> CoalescerStats:
+        """Counter view for ``/stats`` — reads the same instruments as
+        ``/metrics``, so the two endpoints cannot drift apart."""
+        obs = self._obs
+        return CoalescerStats(
+            submitted=int(obs.submitted.value),
+            served=int(obs.served.value),
+            rejected=int(obs.rejected.value),
+            failed=int(obs.failed.value),
+            batches=int(obs.batches.value),
+            ticks=int(obs.ticks.value),
+            max_batch_size=int(obs.max_batch_size.value),
+        )
+
+    @property
+    def metrics(self) -> CoalescerMetrics:
+        """The live instrument bundle (register via ``families()``)."""
+        return self._obs
+
+    def metrics_families(self) -> list:
+        """Metric families for registry registration."""
+        return self._obs.families()
 
     # ------------------------------------------------------------------ #
     # Submission (event-loop thread)
@@ -167,7 +308,7 @@ class Coalescer:
         its whole batch.
         """
         if self._closed:
-            self.stats.rejected += 1
+            self._obs.rejected.inc()
             raise ServerOverloadedError("server is shutting down")
         host = self._hosts.get(index)
         if host is None:
@@ -181,16 +322,28 @@ class Coalescer:
             if high < low:
                 raise QueryError(f"invalid query range [{low}, {high}]")
         if self._pending >= self._max_pending:
-            self.stats.rejected += 1
+            self._obs.rejected.inc()
             raise ServerOverloadedError(
                 f"admission control: {self._pending} requests already pending "
                 f"(max_pending={self._max_pending})"
             )
         key: _QueueKey = (index, guarantee)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queues.setdefault(key, []).append((bounds, future))
+        trace = (
+            self._tracer.start(
+                "query",
+                index=index,
+                guarantee=getattr(guarantee, "value", None),
+            )
+            if self._tracer is not None
+            else None
+        )
+        self._queues.setdefault(key, []).append(
+            (bounds, future, time.perf_counter(), trace)
+        )
         self._pending += 1
-        self.stats.submitted += 1
+        self._obs.submitted.inc()
+        self._obs.pending.set(self._pending)
         flusher = self._flushers.get(key)
         if flusher is None or flusher.done():
             self._flushers[key] = asyncio.ensure_future(self._flush_loop(key))
@@ -225,7 +378,7 @@ class Coalescer:
         """
         while True:
             await asyncio.sleep(self._max_wait)
-            self.stats.ticks += 1
+            self._obs.ticks.inc()
             queue = self._queues.get(key)
             if not queue:
                 return
@@ -234,35 +387,55 @@ class Coalescer:
                 del queue[:self._max_batch]
                 await self._flush(key, batch)
 
-    async def _flush(
-        self, key: _QueueKey, batch: list[tuple[tuple[float, ...], asyncio.Future]]
-    ) -> None:
+    async def _flush(self, key: _QueueKey, batch: list[_QueueItem]) -> None:
         """Evaluate one slice as a single batch call and scatter the answers."""
         index_name, guarantee = key
         host = self._hosts[index_name]
+        flush_start = time.perf_counter()
+        self._obs.queue_wait_seconds.observe_many(
+            [flush_start - enqueued for _, _, enqueued, _ in batch]
+        )
+        traces = [trace for _, _, _, trace in batch if trace is not None]
+        for trace in traces:
+            trace.attrs.setdefault("batch_size", len(batch))
         # One C-level conversion of the bounds tuples, then column views.
-        bounds_matrix = np.array([bounds for bounds, _ in batch], dtype=np.float64)
+        bounds_matrix = np.array([bounds for bounds, _, _, _ in batch], dtype=np.float64)
         columns = tuple(
             np.ascontiguousarray(bounds_matrix[:, i])
             for i in range(2 * host.dims)
         )
         view = host.pin()  # on the loop: atomic w.r.t. writes
+        pinned_at = time.perf_counter()
+        for _, _, enqueued, trace in batch:
+            if trace is not None:
+                trace.add_span("queue_wait", enqueued, flush_start)
+                trace.add_span("pin", flush_start, pinned_at, epoch=view.epoch)
+        # Only the first sampled request carries the trace into the engine:
+        # the whole slice shares one execute call, so the engine-side spans
+        # (cache probe, fan-out, shard exec, merge) would be identical.
+        lead_trace = traces[0] if traces else None
         loop = asyncio.get_running_loop()
         try:
             answer = await loop.run_in_executor(
-                None, host.execute, view, columns, guarantee
+                None, host.execute, view, columns, guarantee, lead_trace
             )
         except Exception as error:  # pragma: no cover - engine faults are rare
             self._pending -= len(batch)
-            self.stats.failed += len(batch)
-            for _, future in batch:
+            self._obs.pending.set(self._pending)
+            self._obs.failed.inc(len(batch))
+            self._finish_traces(traces, error=type(error).__name__)
+            for _, future, _, _ in batch:
                 if not future.done():
                     future.set_exception(error)
             return
         self._pending -= len(batch)
-        self.stats.batches += 1
-        self.stats.served += len(batch)
-        self.stats.max_batch_size = max(self.stats.max_batch_size, len(batch))
+        self._obs.pending.set(self._pending)
+        self._obs.batches.inc()
+        self._obs.served.inc(len(batch))
+        self._obs.max_batch_size.set_max(len(batch))
+        self._obs.flush_seconds.observe(time.perf_counter() - flush_start)
+        self._obs.batch_size.observe(len(batch))
+        self._finish_traces(traces)
         size = len(batch)
         epoch, version = view.epoch, view.version
         # Bulk-convert the columns once (C loops) instead of indexing numpy
@@ -275,7 +448,7 @@ class Coalescer:
         degraded = (
             degraded_column.tolist() if degraded_column is not None else [False] * size
         )
-        for i, (_, future) in enumerate(batch):
+        for i, (_, future, _, _) in enumerate(batch):
             if future.done():  # cancelled by the client
                 continue
             bound = error_bounds[i]
@@ -286,6 +459,14 @@ class Coalescer:
                     epoch, version, size, degraded[i],
                 )
             )
+
+    def _finish_traces(self, traces: list[Trace], error: str | None = None) -> None:
+        if self._tracer is None:
+            return
+        for trace in traces:
+            if error is not None:
+                trace.attrs["error"] = error
+            self._tracer.finish(trace)
 
     # ------------------------------------------------------------------ #
     # Shutdown

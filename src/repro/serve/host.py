@@ -34,11 +34,59 @@ from typing import Any
 import numpy as np
 
 from ..errors import NotSupportedError, QueryError
+from ..obs.metrics import counter_family, gauge_family
+from ..obs.tracing import Trace
 from ..queries.cache import CacheInfo, ResultCache
 from ..queries.engine import apply_kernel_knob
 from ..queries.types import BatchQueryResult, Guarantee
 
-__all__ = ["EngineHost", "PinnedView"]
+__all__ = ["EngineHost", "HostMetrics", "PinnedView"]
+
+
+class HostMetrics:
+    """Per-host instrument bundle: pin traffic and epoch identity.
+
+    The families are label-less; the server registers them with an
+    ``{"index": name}`` label so multiple hosts stay distinct series.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self._fam_pins = counter_family(
+            "repro_host_pins_total",
+            "Serving views pinned (one per coalesced flush).",
+            enabled=enabled,
+        )
+        self._fam_swaps = counter_family(
+            "repro_host_epoch_swaps_total",
+            "Epoch changes observed at pin time (compaction publications).",
+            enabled=enabled,
+        )
+        self._fam_epoch = gauge_family(
+            "repro_host_epoch",
+            "Flush epoch of the most recently pinned view.",
+            enabled=enabled,
+        )
+        self._fam_version = gauge_family(
+            "repro_host_write_version",
+            "Live write version captured at the most recent pin.",
+            enabled=enabled,
+        )
+        self.pins = self._fam_pins.labels()
+        self.epoch_swaps = self._fam_swaps.labels()
+        self.epoch = self._fam_epoch.labels()
+        self.version = self._fam_version.labels()
+
+    def families(self) -> list:
+        return [
+            family
+            for family in (
+                self._fam_pins,
+                self._fam_swaps,
+                self._fam_epoch,
+                self._fam_version,
+            )
+            if getattr(family, "enabled", False)
+        ]
 
 
 @dataclass(frozen=True)
@@ -80,6 +128,11 @@ class EngineHost:
         and only for workloads above the serial cutoff); the previous
         wrapper is retired one swap later so an in-flight flush can finish
         on it.
+    instrument:
+        When False, disables every instrument this host owns (its own
+        bundle, the result cache's, the shard wrapper's) for overhead A/B
+        runs.  Index-level instruments (WAL, compaction) belong to the
+        index and are unaffected.
     """
 
     def __init__(
@@ -91,6 +144,7 @@ class EngineHost:
         kernel: str = "auto",
         num_shards: int = 1,
         executor: str = "thread",
+        instrument: bool = True,
     ) -> None:
         if not callable(getattr(index, "query_batch", None)):
             raise QueryError(
@@ -107,7 +161,18 @@ class EngineHost:
         self._executor = executor
         self._updatable = callable(getattr(index, "snapshot", None))
         self._dims = _query_dims(index)
-        self._cache = ResultCache(cache_size) if cache_size > 0 else None
+        self._cache = (
+            ResultCache(cache_size, instrument=instrument) if cache_size > 0 else None
+        )
+        self._obs = HostMetrics(enabled=instrument)
+        # Shard timing persists across epoch swaps: the bundle outlives the
+        # per-epoch ShardedQueryEngine wrappers it is handed to.
+        from ..queries.sharding import ShardMetrics
+
+        self._shard_metrics = (
+            ShardMetrics() if instrument and self._num_shards > 1 else None
+        )
+        self._last_epoch: int | None = None
         # (pinned base object -> sharded wrapper); at most two generations
         # are kept alive so a flush evaluating on the old view can finish.
         self._sharded: list[tuple[object, Any]] = []
@@ -172,6 +237,45 @@ class EngineHost:
             payload["num_partitions"] = int(num_partitions)
         return payload
 
+    def health_info(self) -> dict:
+        """Liveness-relevant identity for the server's ``/healthz`` endpoint.
+
+        Cheaper than :meth:`info`: identity integers only, no cache or
+        knob introspection.  ``wal_lag`` is the number of insert records
+        appended since the last checkpoint seal — what a restart would
+        replay right now.
+        """
+        index = self._index
+        payload: dict = {
+            "epoch": int(getattr(index, "epoch", 0)),
+            "version": int(getattr(index, "version", 0)),
+        }
+        if self._updatable:
+            payload["buffer_size"] = int(getattr(index, "buffer_size", 0))
+        wal = getattr(index, "wal", None)
+        lag = getattr(wal, "records_since_seal", None)
+        if lag is not None:
+            payload["wal_lag"] = int(lag)
+        return payload
+
+    def metrics_families(self) -> list:
+        """Every metric family this host can vouch for, for registration.
+
+        Includes the host's own bundle, the result cache's, the shard
+        wrapper's, and — when the hosted index exposes
+        ``metrics_families`` (updatable indexes, fleets) — the index's.
+        Entries may be ``(family, labels)`` tuples (fleet partitions).
+        """
+        families: list = list(self._obs.families())
+        if self._shard_metrics is not None:
+            families.extend(self._shard_metrics.families())
+        if self._cache is not None:
+            families.extend(self._cache.metrics_families())
+        index_families = getattr(self._index, "metrics_families", None)
+        if callable(index_families):
+            families.extend(index_families())
+        return families
+
     # ------------------------------------------------------------------ #
     # Read path (pin on the loop, execute on a worker)
     # ------------------------------------------------------------------ #
@@ -182,12 +286,19 @@ class EngineHost:
         Loop-thread only: capturing ``(snapshot, version)`` here, between
         mutations, is what makes every coalesced batch single-epoch.
         """
+        self._obs.pins.inc()
         if not self._updatable:
             serving = self._sharded[-1][1] if self._sharded else self._index
             return PinnedView(serving=serving, epoch=0, version=0)
         overlay = self._index.snapshot()  # type: ignore[attr-defined]
         version = int(getattr(self._index, "version", 0))
         epoch = int(getattr(overlay, "epoch", getattr(self._index, "epoch", 0)))
+        if epoch != self._last_epoch:
+            if self._last_epoch is not None:
+                self._obs.epoch_swaps.inc()
+            self._last_epoch = epoch
+        self._obs.epoch.set(epoch)
+        self._obs.version.set(version)
         serving: Any = overlay
         if self._num_shards > 1:
             serving = self._sharded_for(overlay)
@@ -198,6 +309,7 @@ class EngineHost:
         view: PinnedView,
         bounds: tuple[np.ndarray, ...],
         guarantee: Guarantee | None = None,
+        trace: Trace | None = None,
     ) -> BatchQueryResult:
         """Evaluate one batch against a pinned view, through the cache.
 
@@ -205,21 +317,47 @@ class EngineHost:
         internally.  Answers are bit-identical to calling the pinned
         engine's ``query_batch`` directly (a cache hit replays exactly such
         an answer for the same version and bounds).
+
+        When ``trace`` is given it records a ``cache_probe`` span here and
+        is forwarded into engines that advertise ``supports_trace``
+        (sharded wrappers, fleet snapshots) for fan-out detail; other
+        engines get a single ``engine_exec`` span.  Tracing never changes
+        the computation, only observes its timeline.
         """
         if len(bounds) != 2 * self._dims:
             raise QueryError(
                 f"index {self.name!r} expects {2 * self._dims} bound arrays, "
                 f"got {len(bounds)}"
             )
+        serving = view.serving
         if self._cache is None:
-            return view.serving.query_batch(*bounds, guarantee=guarantee)
+            return self._run_engine(serving, bounds, guarantee, trace)
         key = ResultCache.make_key(view.version, guarantee, bounds)
-        cached = self._cache.get(key)
+        if trace is not None:
+            probe_start = trace.now()
+            cached = self._cache.get(key)
+            trace.add_span("cache_probe", probe_start, trace.now(), hit=cached is not None)
+        else:
+            cached = self._cache.get(key)
         if cached is not None:
             return cached
-        answer = view.serving.query_batch(*bounds, guarantee=guarantee)
+        answer = self._run_engine(serving, bounds, guarantee, trace)
         self._cache.put(key, answer)
         return answer
+
+    @staticmethod
+    def _run_engine(
+        serving: Any,
+        bounds: tuple[np.ndarray, ...],
+        guarantee: Guarantee | None,
+        trace: Trace | None,
+    ) -> BatchQueryResult:
+        if trace is None:
+            return serving.query_batch(*bounds, guarantee=guarantee)
+        if getattr(serving, "supports_trace", False):
+            return serving.query_batch(*bounds, guarantee=guarantee, trace=trace)
+        with trace.span("engine_exec"):
+            return serving.query_batch(*bounds, guarantee=guarantee)
 
     # ------------------------------------------------------------------ #
     # Write path (loop thread)
@@ -262,6 +400,7 @@ class EngineHost:
             num_shards=self._num_shards,
             executor=self._executor,
             kernel="auto",  # already applied to the live index above
+            metrics=self._shard_metrics,
         )
         self._sharded.append((pinned, engine))
         while len(self._sharded) > 2:

@@ -9,9 +9,21 @@ parser).  Keep-alive is supported; request bodies are JSON.
 Routes
 ------
 ``GET /healthz``
-    Liveness: ``{"status": "ok"}``.
+    Liveness: ``{"status": "ok", "hosts": {..}}`` where each host reports
+    its epoch, write version, buffered-insert count and WAL lag (insert
+    records since the last checkpoint seal — what a restart would replay).
 ``GET /stats``
-    Coalescer counters, per-host epoch/version/cache info, uptime.
+    Coalescer counters, per-host epoch/version/cache info, uptime.  A JSON
+    *view* over the same instruments ``/metrics`` exposes — the two can
+    never disagree.
+``GET /metrics``
+    The full metrics registry in Prometheus text exposition format 0.0.4:
+    HTTP, coalescer, host, cache, shard, fleet, WAL and compaction series.
+``GET /slowlog``
+    Recent requests slower than ``slow_query_ms``, newest last.
+``GET /traces``
+    Recently sampled query traces (see ``trace_sample_rate``): per-request
+    span timelines (queue wait -> pin -> cache probe -> fan-out -> merge).
 ``POST /query``
     One scalar query ``{"low": .., "high": ..}`` (2-D: ``x_low``/``x_high``/
     ``y_low``/``y_high``), optional ``"index"`` and ``"guarantee":
@@ -43,22 +55,89 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import sys
 import time
-from typing import Mapping
+from typing import Mapping, NamedTuple
 
 import numpy as np
 
 from ..errors import NotSupportedError, QueryError, ReproError, ServerOverloadedError
+from ..obs.metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    MetricsRegistry,
+    counter_family,
+    histogram_family,
+)
+from ..obs.slowlog import SlowQueryLog
+from ..obs.tracing import Tracer
 from ..queries.types import Guarantee
 from .coalescer import Coalescer, ServedAnswer
 from .host import EngineHost
 
-__all__ = ["ServeServer"]
+__all__ = ["ServeServer", "HttpMetrics"]
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
 #: Back-off hint attached to 503 responses that carry no explicit hint.
 _DEFAULT_RETRY_AFTER_S = 0.1
+
+#: Routes that get their own ``endpoint`` label value; anything else is
+#: folded into ``"other"`` so junk paths cannot explode series cardinality.
+_KNOWN_ENDPOINTS = frozenset(
+    {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/metrics.json",
+        "/slowlog",
+        "/traces",
+        "/query",
+        "/query_batch",
+        "/insert",
+        "/compact",
+    }
+)
+
+
+class _RawText(NamedTuple):
+    """A non-JSON response body (the ``/metrics`` exposition)."""
+
+    content_type: str
+    text: str
+
+
+class HttpMetrics:
+    """Front-door instruments: per-endpoint traffic, latency, slow queries."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.requests_total = counter_family(
+            "repro_http_requests_total",
+            "HTTP requests answered, by endpoint and status code.",
+            ("endpoint", "status"),
+            enabled=enabled,
+        )
+        self.request_seconds = histogram_family(
+            "repro_http_request_seconds",
+            "Wall time from routing a request to having its response body.",
+            ("endpoint",),
+            enabled=enabled,
+        )
+        self.slow_queries_total = counter_family(
+            "repro_http_slow_queries_total",
+            "Query requests that crossed the slow-query threshold.",
+            enabled=enabled,
+        )
+
+    def families(self) -> list:
+        return [
+            family
+            for family in (
+                self.requests_total,
+                self.request_seconds,
+                self.slow_queries_total,
+            )
+            if getattr(family, "enabled", False)
+        ]
 
 
 def _parse_guarantee(payload: dict) -> Guarantee | None:
@@ -153,6 +232,23 @@ class ServeServer:
     :class:`EngineHost` or a name->host mapping.  Use :meth:`start` /
     :meth:`stop` (drain-then-stop) directly, or :meth:`serve_forever` from
     a CLI entry point.
+
+    Observability knobs
+    -------------------
+    ``instrument``
+        When False the server's own instruments (HTTP + coalescer) are
+        no-ops and the registry exposes only whatever the hosts still
+        record; pair with ``EngineHost(instrument=False)`` for a fully
+        uninstrumented A/B baseline.
+    ``trace_sample_rate`` / ``trace_capacity`` / ``trace_seed``
+        Fraction of ``/query`` requests that record a span timeline, the
+        ring size, and an optional seed for deterministic sampling.
+    ``slow_query_ms``
+        Query requests at or above this wall time land in ``/slowlog``.
+    ``log_format`` / ``log_stream``
+        ``"json"`` emits one access-log line per request (status, latency,
+        epoch, batch size) to ``log_stream`` (default stdout); the default
+        ``"plain"`` keeps the historical behaviour of logging nothing.
     """
 
     def __init__(
@@ -162,17 +258,53 @@ class ServeServer:
         max_wait_ms: float = 1.0,
         max_batch: int = 8192,
         max_pending: int = 65536,
+        instrument: bool = True,
+        trace_sample_rate: float = 0.0,
+        trace_capacity: int = 256,
+        trace_seed: int | None = None,
+        slow_query_ms: float = 250.0,
+        log_format: str = "plain",
+        log_stream=None,
     ) -> None:
+        if log_format not in ("plain", "json"):
+            raise QueryError(f"log_format must be 'plain' or 'json', got {log_format!r}")
+        self.tracer = Tracer(
+            sample_rate=trace_sample_rate,
+            capacity=trace_capacity,
+            seed=trace_seed,
+        )
         self.coalescer = Coalescer(
             hosts,
             max_wait_ms=max_wait_ms,
             max_batch=max_batch,
             max_pending=max_pending,
+            instrument=instrument,
+            tracer=self.tracer,
         )
         self._hosts = self.coalescer.hosts
         self._server: asyncio.AbstractServer | None = None
         self._started_at = time.monotonic()
         self.requests_served = 0
+        self.slowlog = SlowQueryLog(threshold_ms=slow_query_ms)
+        self._log_format = log_format
+        self._log_stream = log_stream
+        self._obs = HttpMetrics(enabled=instrument)
+        self.metrics = MetricsRegistry()
+        self.metrics.register_all(self._obs.families())
+        self.metrics.register_all(self.coalescer.metrics_families())
+        self._refresh_host_families()
+
+    def _refresh_host_families(self) -> None:
+        """(Re-)register every host's families under its ``index`` label.
+
+        Idempotent (the registry dedupes), and called again on each
+        ``/metrics`` scrape so families created after startup — e.g. by a
+        fleet partition split — are picked up without a restart.
+        """
+        for name, engine_host in self._hosts.items():
+            self.metrics.register_all(
+                engine_host.metrics_families(), {"index": name}
+            )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -224,8 +356,11 @@ class ServeServer:
                 if request is None:
                     break
                 method, path, headers, body = request
+                started = time.perf_counter()
                 status, payload = await self._route(method, path, body)
+                duration = time.perf_counter() - started
                 self.requests_served += 1
+                self._observe_request(method, path, status, duration, payload)
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 await self._write_response(writer, status, payload, keep_alive)
                 if not keep_alive:
@@ -265,21 +400,30 @@ class ServeServer:
 
     @staticmethod
     async def _write_response(
-        writer: asyncio.StreamWriter, status: int, payload: dict, keep_alive: bool
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: "dict | _RawText",
+        keep_alive: bool,
     ) -> None:
         reasons = {200: "OK", 206: "Partial Content", 400: "Bad Request",
                    404: "Not Found", 500: "Internal Server Error",
                    503: "Service Unavailable"}
-        body = json.dumps(payload).encode()
-        retry_after = payload.get("retry_after_s")
-        retry_header = (
-            f"Retry-After: {max(0, math.ceil(retry_after))}\r\n"
-            if isinstance(retry_after, (int, float))
-            else ""
-        )
+        if isinstance(payload, _RawText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+            retry_header = ""
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
+            retry_after = payload.get("retry_after_s")
+            retry_header = (
+                f"Retry-After: {max(0, math.ceil(retry_after))}\r\n"
+                if isinstance(retry_after, (int, float))
+                else ""
+            )
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{retry_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
@@ -289,15 +433,64 @@ class ServeServer:
         await writer.drain()
 
     # ------------------------------------------------------------------ #
+    # Per-request observability (metrics, slow-query log, access log)
+    # ------------------------------------------------------------------ #
+
+    def _observe_request(
+        self,
+        method: str,
+        path: str,
+        status: int,
+        duration: float,
+        payload: "dict | _RawText",
+    ) -> None:
+        endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+        self._obs.requests_total.labels(endpoint=endpoint, status=str(status)).inc()
+        self._obs.request_seconds.labels(endpoint=endpoint).observe(duration)
+        if endpoint in ("/query", "/query_batch"):
+            if self.slowlog.record(endpoint, duration, status=status):
+                self._obs.slow_queries_total.inc()
+        if self._log_format == "json":
+            record: dict = {
+                "ts": round(time.time(), 6),
+                "method": method,
+                "path": path,
+                "status": status,
+                "duration_ms": round(duration * 1e3, 3),
+            }
+            if isinstance(payload, dict):
+                for field in ("epoch", "batch_size"):
+                    if field in payload:
+                        record[field] = payload[field]
+            stream = self._log_stream if self._log_stream is not None else sys.stdout
+            print(json.dumps(record), file=stream, flush=True)
+
+    # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> "tuple[int, dict | _RawText]":
         try:
             if method == "GET" and path == "/healthz":
-                return 200, {"status": "ok"}
+                return 200, self._health_payload()
             if method == "GET" and path == "/stats":
                 return 200, self._stats_payload()
+            if method == "GET" and path == "/metrics":
+                self._refresh_host_families()
+                return 200, _RawText(EXPOSITION_CONTENT_TYPE, self.metrics.exposition())
+            if method == "GET" and path == "/metrics.json":
+                self._refresh_host_families()
+                return 200, self.metrics.snapshot()
+            if method == "GET" and path == "/slowlog":
+                return 200, self.slowlog.as_dict()
+            if method == "GET" and path == "/traces":
+                return 200, {
+                    "sample_rate": self.tracer.sample_rate,
+                    "sampled_total": self.tracer.sampled_total,
+                    "traces": self.tracer.payloads(),
+                }
             if method != "POST" or path not in (
                 "/query", "/query_batch", "/insert", "/compact"
             ):
@@ -337,12 +530,22 @@ class ServeServer:
             raise QueryError(f"unknown index {name!r}")
         return host
 
+    def _health_payload(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "hosts": {
+                name: host.health_info() for name, host in self._hosts.items()
+            },
+        }
+
     def _stats_payload(self) -> dict:
         return {
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "requests_served": self.requests_served,
             "pending": self.coalescer.pending,
             "coalescer": self.coalescer.stats.as_dict(),
+            "slow_queries": self.slowlog.total,
             "hosts": {name: host.info() for name, host in self._hosts.items()},
         }
 

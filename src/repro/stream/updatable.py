@@ -34,6 +34,7 @@ see ROADMAP.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from pathlib import Path
 
@@ -47,11 +48,40 @@ from ..index.overlay import DirectoryOverlay
 from ..index.polyfit1d import PolyFitIndex
 from ..index.serialization import assemble_index1d
 from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery
+from ..obs.metrics import SIZE_BUCKETS, counter_family, histogram_family
 from .buffer import DeltaBuffer
 from .policy import CompactionPolicy
 from .wal import RT_COMPACT, RT_INSERT1D, RT_INSERT2D, RT_SEAL, WriteAheadLog
 
-__all__ = ["UpdatablePolyFitIndex"]
+__all__ = ["IngestMetrics", "UpdatablePolyFitIndex"]
+
+
+class IngestMetrics:
+    """Compaction instruments shared by the 1-D and 2-D updatable indexes.
+
+    Compaction is the ingest path's stop-the-world pause, so both its
+    duration and the buffer fill that triggered it are histogram-tracked;
+    a registry picks these up (plus the attached WAL's families) via the
+    index's ``metrics_families()``.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.compactions_total = counter_family(
+            "repro_compactions_total", "Completed compactions (buffer folds into base)", enabled=enabled
+        )
+        self.compaction_seconds = histogram_family(
+            "repro_compaction_seconds", "Compaction pause duration in seconds", enabled=enabled
+        )
+        self.trigger_buffer_size = histogram_family(
+            "repro_compaction_trigger_buffer_size",
+            "Buffered records at the moment a compaction started",
+            buckets=SIZE_BUCKETS,
+            enabled=enabled,
+        )
+
+    def families(self) -> list:
+        fams = [self.compactions_total, self.compaction_seconds, self.trigger_buffer_size]
+        return [f for f in fams if getattr(f, "enabled", False)]
 
 
 def _open_fresh_wal(wal_path, *, sync_every: int, opener) -> WriteAheadLog:
@@ -129,6 +159,8 @@ def _replay_wal(index, wal: WriteAheadLog, *, two_dimensional: bool) -> int:
         )
     index._wal = wal
     index._restored_wal_counts = None
+    wal.metrics.recoveries_total.inc()
+    wal.metrics.replayed_records_total.inc(applied)
     return applied
 
 
@@ -165,6 +197,7 @@ class UpdatablePolyFitIndex:
         self._wal: WriteAheadLog | None = None
         self._replaying = False
         self._restored_wal_counts: dict | None = None
+        self._obs = IngestMetrics()
         if wal_path is not None:
             self._wal = _open_fresh_wal(
                 wal_path, sync_every=wal_sync_every, opener=wal_opener
@@ -370,6 +403,8 @@ class UpdatablePolyFitIndex:
         """
         if self._buffer.is_empty:
             return False
+        t0 = time.perf_counter()
+        self._obs.trigger_buffer_size.observe(len(self._buffer))
         base_keys, base_values = self._function_arrays()
         add_keys, add_measures = self._buffer.arrays()
         merged_keys, merged_values = self._merge_function(
@@ -384,6 +419,8 @@ class UpdatablePolyFitIndex:
             # Dominated duplicates (MAX/MIN) or zero-measure SUM inserts:
             # the merged function equals the base; nothing to re-fit.
             self._finish_epoch()
+            self._obs.compactions_total.inc()
+            self._obs.compaction_seconds.observe(time.perf_counter() - t0)
             return True
         segments = self._resegment(merged_keys, merged_values, affected, old_n)
         self._base = assemble_index1d(
@@ -398,6 +435,8 @@ class UpdatablePolyFitIndex:
             config=self._base.config,
         )
         self._finish_epoch()
+        self._obs.compactions_total.inc()
+        self._obs.compaction_seconds.observe(time.perf_counter() - t0)
         return True
 
     def _finish_epoch(self) -> None:
@@ -419,6 +458,13 @@ class UpdatablePolyFitIndex:
     def wal(self) -> WriteAheadLog | None:
         """The attached write-ahead log, if any."""
         return self._wal
+
+    def metrics_families(self) -> list:
+        """Compaction + WAL metric families, for registry registration."""
+        fams = self._obs.families()
+        if self._wal is not None:
+            fams += self._wal.metrics.families()
+        return fams
 
     def checkpoint(self, path: str | Path) -> Path:
         """Persist the full state atomically and seal the WAL position.

@@ -12,6 +12,7 @@ set (bounded by the policy threshold); incremental quadtree compaction — the
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import numpy as np
@@ -23,7 +24,7 @@ from ..index.polyfit2d import PolyFit2DIndex
 from ..queries.batch import resolve_batch_certificates
 from ..queries.types import BatchQueryResult, Guarantee, QueryResult, RangeQuery2D
 from .policy import CompactionPolicy
-from .updatable import _open_fresh_wal, _replay_wal
+from .updatable import IngestMetrics, _open_fresh_wal, _replay_wal
 from .wal import WriteAheadLog
 
 __all__ = ["UpdatablePolyFit2DIndex"]
@@ -140,6 +141,7 @@ class UpdatablePolyFit2DIndex:
         self._wal: WriteAheadLog | None = None
         self._replaying = False
         self._restored_wal_counts: dict | None = None
+        self._obs = IngestMetrics()
         if wal_path is not None:
             self._wal = _open_fresh_wal(
                 wal_path, sync_every=wal_sync_every, opener=wal_opener
@@ -348,6 +350,8 @@ class UpdatablePolyFit2DIndex:
         """
         if self._size == 0:
             return False
+        t0 = time.perf_counter()
+        self._obs.trigger_buffer_size.observe(self._size)
         base_xs, base_ys, base_ws = self._base_points()
         xs = np.concatenate([base_xs] + self._x_chunks)
         ys = np.concatenate([base_ys] + self._y_chunks)
@@ -378,6 +382,8 @@ class UpdatablePolyFit2DIndex:
             # After the rebuild, like the 1-D index: a crash in between just
             # replays the buffered points over the old base.
             self._wal.append_compaction(self._epoch)
+        self._obs.compactions_total.inc()
+        self._obs.compaction_seconds.observe(time.perf_counter() - t0)
         return True
 
     def _base_points(self) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
@@ -403,6 +409,13 @@ class UpdatablePolyFit2DIndex:
     def wal(self) -> WriteAheadLog | None:
         """The attached write-ahead log, if any."""
         return self._wal
+
+    def metrics_families(self) -> list:
+        """Compaction + WAL metric families, for registry registration."""
+        fams = self._obs.families()
+        if self._wal is not None:
+            fams += self._wal.metrics.families()
+        return fams
 
     def checkpoint(self, path: str | Path) -> Path:
         """Persist the full state atomically and seal the WAL position."""

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -69,6 +70,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import SerializationError
+from ..obs.metrics import counter_family, histogram_family, log_buckets
 
 __all__ = [
     "WAL_MAGIC",
@@ -76,6 +78,7 @@ __all__ = [
     "RT_INSERT2D",
     "RT_COMPACT",
     "RT_SEAL",
+    "WalMetrics",
     "WalRecord",
     "WalScan",
     "WriteAheadLog",
@@ -282,6 +285,50 @@ def scan_wal(path: str | Path, *, strict: bool = True) -> WalScan:
 # --------------------------------------------------------------------- #
 
 
+# fsync spans ~50 us (battery-backed / fake handles) to ~100 ms (spinning
+# rust under load); dedicated buckets keep the barrier cost resolvable.
+_FSYNC_BUCKETS = log_buckets(1e-5, 1.0, 18)
+
+
+class WalMetrics:
+    """Durability instruments for one :class:`WriteAheadLog`."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.appends_total = counter_family(
+            "repro_wal_appends_total",
+            "WAL records appended, by record kind",
+            ("kind",),
+            enabled=enabled,
+        )
+        self.fsyncs_total = counter_family(
+            "repro_wal_fsyncs_total", "WAL durability barriers (fsync) issued", enabled=enabled
+        )
+        self.fsync_seconds = histogram_family(
+            "repro_wal_fsync_seconds",
+            "WAL durability-barrier latency in seconds",
+            buckets=_FSYNC_BUCKETS,
+            enabled=enabled,
+        )
+        self.recoveries_total = counter_family(
+            "repro_wal_recoveries_total", "Successful WAL replays into an index", enabled=enabled
+        )
+        self.replayed_records_total = counter_family(
+            "repro_wal_replayed_records_total",
+            "WAL records re-applied during recovery replays",
+            enabled=enabled,
+        )
+
+    def families(self) -> list:
+        fams = [
+            self.appends_total,
+            self.fsyncs_total,
+            self.fsync_seconds,
+            self.recoveries_total,
+            self.replayed_records_total,
+        ]
+        return [f for f in fams if getattr(f, "enabled", False)]
+
+
 class WriteAheadLog:
     """Append-only record log with CRC framing and group-commit fsync.
 
@@ -311,6 +358,7 @@ class WriteAheadLog:
         *,
         sync_every: int = 1,
         opener=None,
+        instrument: bool = True,
     ) -> None:
         if sync_every < 1:
             raise SerializationError(f"sync_every must be >= 1, got {sync_every}")
@@ -319,9 +367,13 @@ class WriteAheadLog:
         self._opener = opener or (lambda p, mode: open(p, mode))
         self._pending = 0
         self._closed = False
+        self.metrics = WalMetrics(enabled=instrument)
         self.insert_records = 0
         self.compaction_records = 0
         self.seal_records = 0
+        #: Insert-record count captured by the most recent checkpoint seal;
+        #: ``records_since_seal`` (WAL lag) is derived from it for /healthz.
+        self.sealed_inserts = 0
         #: Records decoded from the existing file at open time (replay input).
         self.scanned_records: list[WalRecord] = []
 
@@ -332,6 +384,9 @@ class WriteAheadLog:
             self.insert_records = scan.insert_records
             self.compaction_records = scan.compaction_records
             self.seal_records = scan.seal_records
+            for record in scan.records:
+                if record.kind == RT_SEAL:
+                    self.sealed_inserts = record.inserts
             self._handle = self._opener(self._path, "r+b")
             start = max(scan.valid_bytes, len(WAL_MAGIC))
             self._handle.truncate(start)
@@ -361,15 +416,23 @@ class WriteAheadLog:
         """Appended insert records not yet covered by a durability barrier."""
         return self._pending
 
+    @property
+    def records_since_seal(self) -> int:
+        """Insert records appended since the last checkpoint seal (WAL lag)."""
+        return self.insert_records - self.sealed_inserts
+
     # -- durability ----------------------------------------------------- #
 
     def _sync_handle(self) -> None:
+        t0 = time.perf_counter()
         sync = getattr(self._handle, "sync", None)
         if sync is not None:
             sync()
         else:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+        self.metrics.fsyncs_total.inc()
+        self.metrics.fsync_seconds.observe(time.perf_counter() - t0)
 
     def sync(self) -> None:
         """Force the durability barrier (flush + fsync) now."""
@@ -395,16 +458,19 @@ class WriteAheadLog:
         """Log a 1-D insert batch (call *before* acknowledging the insert)."""
         self._append(RT_INSERT1D, _encode_insert1d(keys, measures), force_sync=False)
         self.insert_records += 1
+        self.metrics.appends_total.labels(kind="insert").inc()
 
     def append_insert2d(self, xs, ys, measures=None) -> None:
         """Log a 2-D insert batch."""
         self._append(RT_INSERT2D, _encode_insert2d(xs, ys, measures), force_sync=False)
         self.insert_records += 1
+        self.metrics.appends_total.labels(kind="insert").inc()
 
     def append_compaction(self, epoch: int) -> None:
         """Log a completed compaction (always fsync'd: it gates replay)."""
         self._append(RT_COMPACT, struct.pack("<Q", int(epoch)), force_sync=True)
         self.compaction_records += 1
+        self.metrics.appends_total.labels(kind="compaction").inc()
 
     def append_seal(self, *, epoch: int, buffer_size: int) -> None:
         """Log a checkpoint seal: the counts a just-saved checkpoint subsumes.
@@ -423,6 +489,8 @@ class WriteAheadLog:
         )
         self._append(RT_SEAL, payload, force_sync=True)
         self.seal_records += 1
+        self.sealed_inserts = self.insert_records
+        self.metrics.appends_total.labels(kind="seal").inc()
 
     # -- lifecycle ------------------------------------------------------ #
 

@@ -1,0 +1,179 @@
+"""Tracer and slow-query-log unit tests.
+
+Sampling must be deterministic under a seed (the bench harness and the
+serve tests rely on it), the ring buffer must stay bounded, and the clock
+must be injectable so span timelines can be scripted exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import Trace, Tracer
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTracer:
+    def test_zero_rate_never_samples(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert all(tracer.start("q") is None for _ in range(100))
+        assert tracer.sampled_total == 0
+
+    def test_full_rate_always_samples(self):
+        tracer = Tracer(sample_rate=1.0)
+        traces = [tracer.start("q") for _ in range(10)]
+        assert all(t is not None for t in traces)
+        assert tracer.sampled_total == 10
+        assert [t.trace_id for t in traces] == list(range(1, 11))
+
+    def test_seeded_sampling_is_deterministic(self):
+        decisions_a = [
+            Tracer(sample_rate=0.3, seed=42).start("q") is not None
+            for _ in range(1)
+        ]
+        tracer_a = Tracer(sample_rate=0.3, seed=42)
+        tracer_b = Tracer(sample_rate=0.3, seed=42)
+        pattern_a = [tracer_a.start("q") is not None for _ in range(200)]
+        pattern_b = [tracer_b.start("q") is not None for _ in range(200)]
+        assert pattern_a == pattern_b
+        assert any(pattern_a) and not all(pattern_a)
+        assert decisions_a  # silence unused warning path
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=0.5, capacity=0)
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(sample_rate=1.0, capacity=5)
+        for _ in range(12):
+            tracer.finish(tracer.start("q"))
+        traces = tracer.traces()
+        assert len(traces) == 5
+        assert tracer.finished_total == 12
+        # Newest survive: ids 8..12.
+        assert [t.trace_id for t in traces] == [8, 9, 10, 11, 12]
+
+    def test_injected_clock_drives_timeline(self):
+        clock = FakeClock(100.0)
+        tracer = Tracer(sample_rate=1.0, clock=clock)
+        trace = tracer.start("q", index="default")
+        assert trace.started == 100.0
+        clock.advance(0.010)
+        with trace.span("pin"):
+            clock.advance(0.005)
+        clock.advance(0.001)
+        trace.add_span("exec", trace.now(), trace.now() + 0.0)
+        clock.advance(0.004)
+        tracer.finish(trace)
+        assert trace.ended == pytest.approx(100.020)
+        assert trace.duration == pytest.approx(0.020)
+        pin = trace.spans[0]
+        assert pin.name == "pin"
+        assert pin.start == pytest.approx(100.010)
+        assert pin.duration == pytest.approx(0.005)
+
+    def test_finish_none_is_noop(self):
+        tracer = Tracer(sample_rate=0.0)
+        tracer.finish(None)
+        assert tracer.finished_total == 0
+
+    def test_payload_shape_and_jsonl_export(self):
+        clock = FakeClock()
+        tracer = Tracer(sample_rate=1.0, clock=clock)
+        trace = tracer.start("q", guarantee="absolute")
+        clock.advance(0.002)
+        trace.add_span("queue_wait", 0.0, 0.002, batch_size=4)
+        tracer.finish(trace)
+        payload = trace.to_payload()
+        assert payload["name"] == "q"
+        assert payload["attrs"] == {"guarantee": "absolute"}
+        assert payload["duration_ms"] == pytest.approx(2.0)
+        span = payload["spans"][0]
+        assert span["name"] == "queue_wait"
+        assert span["attrs"] == {"batch_size": 4}
+        lines = tracer.export_jsonl().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["trace_id"] == trace.trace_id
+
+    def test_dump_writes_jsonl_file(self, tmp_path):
+        tracer = Tracer(sample_rate=1.0)
+        tracer.finish(tracer.start("q"))
+        path = tmp_path / "traces.jsonl"
+        written = tracer.dump(str(path))
+        assert written == 1
+        assert json.loads(path.read_text().strip())["name"] == "q"
+
+    def test_spans_threadsafe_add(self):
+        import threading
+
+        trace = Trace(1, "q", clock=lambda: 0.0)
+
+        def add_many():
+            for i in range(300):
+                trace.add_span("s", 0.0, 0.001)
+
+        threads = [threading.Thread(target=add_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.spans) == 1200
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_ms=100.0, clock=lambda: 5.0)
+        assert log.record("/query", 0.050) is False
+        assert log.record("/query", 0.150, status=200) is True
+        assert log.total == 1
+        entry = log.entries()[0]
+        assert entry["endpoint"] == "/query"
+        assert entry["duration_ms"] == pytest.approx(150.0)
+        assert entry["status"] == 200
+        assert entry["ts"] == 5.0
+
+    def test_zero_threshold_records_everything(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        assert log.record("/query_batch", 0.0001) is True
+
+    def test_capacity_bounded(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for i in range(7):
+            log.record(f"/q{i}", 1.0)
+        entries = log.entries()
+        assert len(entries) == 3
+        assert [e["endpoint"] for e in entries] == ["/q4", "/q5", "/q6"]
+        assert log.total == 7
+
+    def test_detail_attached(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("/query", 1.0, detail={"epoch": 3})
+        assert log.entries()[0]["detail"] == {"epoch": 3}
+
+    def test_as_dict_and_jsonl(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        log.record("/query", 1.0)
+        payload = log.as_dict()
+        assert payload["threshold_ms"] == 10.0
+        assert payload["total"] == 1
+        assert len(payload["entries"]) == 1
+        assert json.loads(log.export_jsonl().strip())["endpoint"] == "/query"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=1.0, capacity=0)

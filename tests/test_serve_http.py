@@ -58,7 +58,30 @@ class TestEndpoints:
         payload = with_server(
             lambda: EngineHost(index), lambda url: health_remote(url)
         )
-        assert payload == {"status": "ok"}
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0
+        host_health = payload["hosts"]["default"]
+        assert host_health == {"epoch": 0, "version": 0}
+
+    def test_healthz_updatable_reports_buffer_and_wal_lag(self, keys, tmp_path):
+        def make_host():
+            index = UpdatablePolyFitIndex.build(
+                keys[:2000],
+                aggregate=Aggregate.COUNT,
+                delta=DELTA,
+                wal_path=tmp_path / "health.wal",
+            )
+            index.insert(np.array([1.5, 2.5]))
+            index.insert(np.array([3.5]))
+            return EngineHost(index, name="live")
+
+        payload = with_server(make_host, lambda url: health_remote(url))
+        host_health = payload["hosts"]["live"]
+        assert host_health["buffer_size"] == 3
+        # WAL lag counts *records* (appends) since the last seal, not rows.
+        assert host_health["wal_lag"] == 2
+        assert host_health["epoch"] == 0
+        assert host_health["version"] == 2
 
     def test_query_matches_direct_batch(self, index):
         direct = index.query_batch(np.array([100.0]), np.array([600.0]))

@@ -14,7 +14,11 @@ Checks, over ``README.md`` and everything under ``docs/``:
   ``ARTIFACT_PATH`` in ``benchmarks/``), and every emitted artifact is
   documented somewhere;
 * **code references** — every `` `path/to/file.py` `` span that looks like
-  a repo path exists.
+  a repo path exists;
+* **metric names** — every ``repro_*`` metric registered in ``src/repro/``
+  (a ``counter_family``/``gauge_family``/``histogram_family`` call) is
+  documented in ``docs/OBSERVABILITY.md``, and every metric name that
+  document mentions is actually registered in the code.
 
 Exit status 0 when clean; 1 with one line per problem otherwise.  Run via
 ``make docs-lint`` (CI runs it on every push).
@@ -34,6 +38,13 @@ LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 ARTIFACT_RE = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
 CODE_PATH_RE = re.compile(r"`((?:src|tests|benchmarks|docs|tools|examples)/[^`\s]+)`")
+OBSERVABILITY_DOC = REPO / "docs" / "OBSERVABILITY.md"
+# The name literal always sits right after the family constructor's open
+# paren (possibly on the next line — \s* spans newlines).
+METRIC_FAMILY_RE = re.compile(
+    r'(?:counter|gauge|histogram)_family\(\s*"(repro_[a-z0-9_]+)"'
+)
+METRIC_NAME_RE = re.compile(r"\brepro_[a-z0-9_]+\b")
 
 
 def _slug(heading: str) -> str:
@@ -89,6 +100,30 @@ def check_artifacts(problems: list[str]) -> None:
         )
 
 
+def check_metrics(problems: list[str]) -> None:
+    registered: set[str] = set()
+    for source in (REPO / "src" / "repro").rglob("*.py"):
+        registered |= set(METRIC_FAMILY_RE.findall(source.read_text()))
+    if not OBSERVABILITY_DOC.exists():
+        if registered:
+            problems.append(
+                "metrics are registered in src/repro/ but docs/OBSERVABILITY.md "
+                "is missing"
+            )
+        return
+    documented = set(METRIC_NAME_RE.findall(OBSERVABILITY_DOC.read_text()))
+    for name in sorted(registered - documented):
+        problems.append(
+            f"metric {name} is registered in the code but not documented in "
+            "docs/OBSERVABILITY.md"
+        )
+    for name in sorted(documented - registered):
+        problems.append(
+            f"docs/OBSERVABILITY.md documents {name} but no family in "
+            "src/repro/ registers it"
+        )
+
+
 def main() -> int:
     problems: list[str] = []
     for doc in DOC_FILES:
@@ -98,6 +133,7 @@ def main() -> int:
         check_links(doc, problems)
         check_code_paths(doc, problems)
     check_artifacts(problems)
+    check_metrics(problems)
     if problems:
         print(f"docs lint: {len(problems)} problem(s)")
         for problem in problems:
